@@ -1,0 +1,114 @@
+"""Shared helpers for the benchmark harness.
+
+Benchmarks regenerate the paper's tables and figures at laptop scale.
+Surrogate training is the expensive step, so trained checkpoints are
+cached under ``benchmarks/.cache`` keyed by the setup parameters; delete
+the directory to force retraining.
+
+Environment knobs:
+
+* ``NEURFILL_BENCH_SCALE`` (float, default 1.0) scales the benchmark grid
+  sizes; e.g. 2.0 doubles every design's rows/cols for higher fidelity.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.cmp import CmpSimulator
+from repro.core import FillProblem, ScoreCoefficients
+from repro.layout import Layout, make_design
+from repro.surrogate import (
+    CmpNeuralNetwork,
+    TrainConfig,
+    load_surrogate,
+    pretrain_surrogate,
+    save_surrogate,
+)
+
+CACHE_DIR = Path(__file__).resolve().parent / ".cache"
+OUTPUT_DIR = Path(__file__).resolve().parent / "output"
+
+#: Benchmark grid sizes per design (scaled from the paper's full chips).
+BENCH_GRIDS = {"A": (20, 20), "B": (20, 20), "C": (24, 24)}
+
+#: Surrogate training budget for benches (paper: 20k samples, 20 epochs).
+TRAIN_SAMPLES = 40
+TRAIN_EPOCHS = 25
+BASE_CHANNELS = 8
+DEPTH = 2
+
+#: Runtime beta for scaled problems (paper: 20 min on full-size chips).
+BETA_RUNTIME_S = 60.0
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("NEURFILL_BENCH_SCALE", "1.0"))
+
+
+def bench_grid(design_key: str) -> tuple[int, int]:
+    rows, cols = BENCH_GRIDS[design_key.upper()]
+    s = bench_scale()
+    return max(8, int(round(rows * s))), max(8, int(round(cols * s)))
+
+
+@dataclass
+class DesignSetup:
+    """Everything a benchmark needs for one design."""
+
+    key: str
+    layout: Layout
+    simulator: CmpSimulator
+    coefficients: ScoreCoefficients
+    problem: FillProblem
+    network: CmpNeuralNetwork
+    surrogate_rel_error: float
+
+
+def design_setup(design_key: str, seed: int = 0) -> DesignSetup:
+    """Build (or load from cache) the full setup for one design."""
+    rows, cols = bench_grid(design_key)
+    layout = make_design(design_key, scale=1.0, seed=None)
+    # Rebuild at bench grid size.
+    from repro.layout.designs import DESIGN_BUILDERS
+    layout = DESIGN_BUILDERS[design_key.upper()](rows=rows, cols=cols)
+    simulator = CmpSimulator()
+    coefficients = ScoreCoefficients.calibrated(
+        layout, simulator, beta_runtime=BETA_RUNTIME_S
+    )
+    problem = FillProblem(layout, coefficients)
+
+    tag = (f"{design_key.upper()}_{rows}x{cols}_s{TRAIN_SAMPLES}"
+           f"_e{TRAIN_EPOCHS}_b{BASE_CHANNELS}_d{DEPTH}_seed{seed}")
+    ckpt = CACHE_DIR / tag
+    rel_err_file = ckpt / "rel_error.txt"
+    if (ckpt / "surrogate.json").exists():
+        network = load_surrogate(ckpt, layout)
+        rel_error = float(rel_err_file.read_text()) if rel_err_file.exists() else float("nan")
+    else:
+        network, _, report = pretrain_surrogate(
+            [layout], layout, sample_count=TRAIN_SAMPLES,
+            tile_rows=rows, tile_cols=cols,
+            base_channels=BASE_CHANNELS, depth=DEPTH,
+            config=TrainConfig(epochs=TRAIN_EPOCHS, batch_size=8),
+            simulator=simulator, seed=seed,
+        )
+        save_surrogate(ckpt, network.unet, network.normalizer,
+                       base_channels=BASE_CHANNELS, depth=DEPTH)
+        rel_err_file.write_text(str(report.mean_relative_error))
+        rel_error = report.mean_relative_error
+    return DesignSetup(
+        key=design_key.upper(), layout=layout, simulator=simulator,
+        coefficients=coefficients, problem=problem, network=network,
+        surrogate_rel_error=rel_error,
+    )
+
+
+def write_output(name: str, text: str) -> None:
+    """Print a result table and persist it under benchmarks/output/."""
+    OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
+    (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n")
+    print()
+    print(text)

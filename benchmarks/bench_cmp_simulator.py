@@ -1,0 +1,48 @@
+"""Fig. 2 flow sanity + simulator scaling.
+
+Not a paper table per se, but the substrate every experiment stands on:
+checks the four-step CMP flow produces physically sensible trends and
+benchmarks a full-chip simulation at several grid sizes.
+"""
+
+import numpy as np
+import pytest
+
+from _common import write_output
+from repro.cmp import CmpSimulator, ProcessParams
+from repro.layout import make_design_a
+
+
+@pytest.mark.parametrize("size", [16, 32, 64])
+def test_simulator_scaling(benchmark, size):
+    layout = make_design_a(rows=size, cols=size)
+    simulator = CmpSimulator()
+    result = benchmark(lambda: simulator.simulate_layout(layout))
+    assert result.height.shape == (3, size, size)
+
+
+def test_flow_sanity(benchmark):
+    layout = make_design_a(rows=24, cols=24)
+
+    def polish_sweep():
+        rows = []
+        for t in (10.0, 30.0, 60.0, 90.0):
+            sim = CmpSimulator(ProcessParams(polish_time_s=t))
+            res = sim.simulate_layout(layout)
+            rows.append((t, float(res.height.mean()),
+                         float(res.step_height.max()),
+                         float(np.mean([res.height[l].std() for l in range(3)]))))
+        return rows
+
+    rows = benchmark.pedantic(polish_sweep, rounds=1, iterations=1)
+    text = "\n".join(
+        [f"{'t(s)':>6} {'mean H (A)':>12} {'max step':>10} {'layer std':>10}"]
+        + [f"{t:>6.0f} {h:>12.1f} {s:>10.1f} {d:>10.1f}" for t, h, s, d in rows]
+    )
+    write_output("cmp_flow_sanity", "CMP polish-time sweep (design A 24x24)\n" + text)
+
+    heights = [h for _, h, _, _ in rows]
+    steps = [s for _, _, s, _ in rows]
+    # More polishing removes more material and clears topography.
+    assert all(h1 > h2 for h1, h2 in zip(heights, heights[1:]))
+    assert steps[-1] < steps[0]

@@ -1,0 +1,39 @@
+"""Table II: score-function coefficients of the three benchmark designs.
+
+Prints the paper's literal coefficients and the recalibrated coefficients
+used for our scaled synthetic designs (see
+:meth:`repro.core.ScoreCoefficients.calibrated` for the derivation).
+"""
+
+from _common import write_output
+from repro.core import ScoreCoefficients, paper_table2
+from repro.evaluation import format_table2
+
+
+def test_table2_paper_and_calibrated(benchmark, setup_a, setup_b, setup_c):
+    paper = {key: paper_table2(key) for key in "ABC"}
+    paper_text = format_table2(paper)
+
+    def calibrate_all():
+        return {
+            f"{s.key}*": ScoreCoefficients.calibrated(
+                s.layout, s.simulator, beta_runtime=60.0
+            )
+            for s in (setup_a, setup_b, setup_c)
+        }
+
+    calibrated = benchmark(calibrate_all)
+    calib_text = format_table2(calibrated)
+    write_output(
+        "table2_coefficients",
+        "Table II (paper, literal):\n" + paper_text
+        + "\n\nTable II (recalibrated for the scaled synthetic designs, "
+        "beta_t scaled to 60 s):\n" + calib_text,
+    )
+
+    # Structural checks: alphas are the paper's; betas positive; the
+    # relative ordering beta_line >> beta_outlier holds as in the paper.
+    for c in calibrated.values():
+        assert c.alpha_sigma == 0.2 and c.alpha_overlay == 0.15
+        assert c.beta_line > c.beta_outlier
+        assert abs(c.overall_alpha_total - 1.0) < 1e-12

@@ -1,0 +1,66 @@
+"""Table III: filling quality comparison on designs A, B and C.
+
+Runs Lin [10], Tao [11], Cai [12], NeurFill (PKB) and NeurFill (MM) on
+the scaled synthetic designs and scores every solution with the real
+full-chip simulator.  Expected shape (paper Table III):
+
+* model-based methods (Cai, NeurFill) beat rule-based (Lin, Tao) on
+  filling quality and post-CMP dH;
+* NeurFill (PKB) reaches Cai-level quality at a small fraction of the
+  runtime (paper: 58x) and wins the overall score;
+* NeurFill (MM) reaches the highest (or tied-highest) quality at the
+  price of the longest NeurFill runtime.
+"""
+
+import pytest
+
+from _common import write_output
+from repro.baselines import cai_fill, lin_fill, tao_fill
+from repro.core import NeurFill
+from repro.evaluation import format_table3, run_comparison
+from repro.optimize import SqpOptimizer
+
+
+def _run_design(setup):
+    neurfill = NeurFill(
+        setup.problem, setup.network,
+        optimizer=SqpOptimizer(max_iter=80, tol=1e-9),
+        simulator=setup.simulator,
+    )
+    methods = {
+        "lin": lambda p: lin_fill(p),
+        "tao": lambda p: tao_fill(p),
+        "cai": lambda p: cai_fill(p, simulator=setup.simulator,
+                                  max_sqp_iterations=3),
+        "neurfill-pkb": lambda p: neurfill.run_pkb(),
+        "neurfill-mm": lambda p: neurfill.run_multimodal(
+            max_evaluations=500, top_k=3),
+    }
+    return run_comparison(setup.problem, methods, setup.simulator)
+
+
+@pytest.mark.parametrize("design", ["A", "B", "C"])
+def test_table3_design(benchmark, design, setup_a, setup_b, setup_c):
+    setup = {"A": setup_a, "B": setup_b, "C": setup_c}[design]
+    rows = benchmark.pedantic(_run_design, args=(setup,), rounds=1, iterations=1)
+    scores = {r.score.method: r.score for r in rows}
+    grid = setup.layout.grid
+    write_output(
+        f"table3_design_{design}",
+        format_table3(
+            [r.score for r in rows],
+            title=(f"Table III — design {design} "
+                   f"({grid.rows}x{grid.cols} windows, surrogate rel. err "
+                   f"{setup.surrogate_rel_error * 100:.2f}%)"),
+        ),
+    )
+
+    # Shape assertions (paper Table III).
+    assert scores["neurfill-pkb"].quality > scores["no-fill"].quality
+    assert scores["neurfill-pkb"].quality > scores["lin"].quality
+    # NeurFill (PKB) is dramatically faster than the numerical-gradient
+    # model-based baseline.
+    assert scores["neurfill-pkb"].runtime_s < scores["cai"].runtime_s / 5
+    # Model-based methods reach lower post-CMP height range than Lin.
+    assert min(scores["cai"].delta_h, scores["neurfill-pkb"].delta_h,
+               scores["neurfill-mm"].delta_h) < scores["no-fill"].delta_h

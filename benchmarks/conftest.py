@@ -1,0 +1,25 @@
+"""Benchmark fixtures: one cached design setup shared across files."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from _common import design_setup  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def setup_a():
+    return design_setup("A")
+
+
+@pytest.fixture(scope="session")
+def setup_b():
+    return design_setup("B")
+
+
+@pytest.fixture(scope="session")
+def setup_c():
+    return design_setup("C")

@@ -1,0 +1,79 @@
+"""Pre-train the CMP neural network and inspect its accuracy (paper SS V-A).
+
+Reproduces the training protocol at laptop scale:
+
+* two-step random data generation (window re-assembly + random legal
+  fill, paper Fig. 8);
+* UNet training on the Eq. 20 objective;
+* test-set accuracy + the Fig. 9 per-window error distribution;
+* the extension-ability check (train on designs A+B, test on C);
+* checkpointing the result for reuse.
+
+Run:  python examples/train_surrogate.py [out_dir]
+"""
+
+import sys
+
+from repro.cmp import CmpSimulator
+from repro.evaluation import format_histogram
+from repro.layout import make_design_a, make_design_b, make_design_c
+from repro.nn import UNet
+from repro.surrogate import (
+    NUM_FEATURE_CHANNELS,
+    TrainConfig,
+    build_dataset,
+    evaluate_accuracy,
+    save_surrogate,
+    train_unet,
+)
+
+BASE_CHANNELS = 8
+DEPTH = 2
+
+
+def main(out_dir: str = "surrogate_checkpoint") -> None:
+    simulator = CmpSimulator()
+    design_a = make_design_a(rows=16, cols=16)
+    design_b = make_design_b(rows=16, cols=16)
+    design_c = make_design_c(rows=16, cols=16)
+
+    print("== Two-step random training data (paper Fig. 8)")
+    dataset = build_dataset([design_a, design_b], count=40, rows=16, cols=16,
+                            simulator=simulator, seed=0)
+    train_set, test_set = dataset.split(test_fraction=0.2, seed=0)
+    print(f"{len(train_set)} training layouts, {len(test_set)} test layouts, "
+          f"{dataset.inputs.shape[2]} feature channels")
+
+    print("\n== Training (Eq. 20 + variance matching)")
+    unet = UNet(in_channels=NUM_FEATURE_CHANNELS, out_channels=1,
+                base_channels=BASE_CHANNELS, depth=DEPTH, rng=0)
+    print(f"UNet parameters: {unet.num_parameters()}")
+    history = train_unet(unet, train_set, TrainConfig(epochs=25, batch_size=8))
+    print("epoch losses:", " ".join(f"{l:.3f}" for l in history.losses[::5]))
+
+    print("\n== Test accuracy (paper: 0.6% mean, 1.77% max window)")
+    report = evaluate_accuracy(unet, test_set)
+    print(f"mean relative height error:      {report.mean_relative_error * 100:.2f}%")
+    print(f"max per-window relative error:   {report.max_window_relative_error * 100:.2f}%")
+    print(f"windows below 1.3% error:        {report.fraction_below(0.013) * 100:.0f}%")
+
+    counts, edges = report.error_histogram(bins=12)
+    print("\nFig. 9 — per-window average relative error distribution:")
+    print(format_histogram(counts, edges))
+
+    print("\n== Extension ability: trained on A+B, tested on C")
+    ext_set = build_dataset([design_c], count=10, rows=16, cols=16,
+                            simulator=simulator, seed=7,
+                            normalizer=dataset.normalizer)
+    ext_report = evaluate_accuracy(unet, ext_set)
+    print(f"extension-set mean relative error: "
+          f"{ext_report.mean_relative_error * 100:.2f}% "
+          f"(paper reports 2.7%)")
+
+    path = save_surrogate(out_dir, unet, dataset.normalizer,
+                          base_channels=BASE_CHANNELS, depth=DEPTH)
+    print(f"\ncheckpoint written to {path}/")
+
+
+if __name__ == "__main__":
+    main(*sys.argv[1:2])

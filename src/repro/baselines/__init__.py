@@ -1,0 +1,7 @@
+"""Baseline dummy-filling methods the paper compares against."""
+
+from .cai import SimulatorQuality, cai_fill
+from .lin import lin_fill
+from .tao import tao_fill
+
+__all__ = ["SimulatorQuality", "cai_fill", "lin_fill", "tao_fill"]

@@ -1,0 +1,29 @@
+"""Full-chip CMP simulator substrate (paper Fig. 2)."""
+
+from .dsh import contact_fraction, removal_rates
+from .numgrad import (
+    central_difference_gradient,
+    count_simulator_calls,
+    forward_difference_gradient,
+)
+from .pad import conformed_reference, solve_pressure
+from .preston import preston_rate, removed_amount
+from .process import DEFAULT_PROCESS, ProcessParams
+from .simulator import CmpResult, CmpSimulator, effective_density
+
+__all__ = [
+    "DEFAULT_PROCESS",
+    "CmpResult",
+    "CmpSimulator",
+    "ProcessParams",
+    "central_difference_gradient",
+    "conformed_reference",
+    "contact_fraction",
+    "count_simulator_calls",
+    "effective_density",
+    "forward_difference_gradient",
+    "preston_rate",
+    "removal_rates",
+    "removed_amount",
+    "solve_pressure",
+]

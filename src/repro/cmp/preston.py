@@ -1,0 +1,26 @@
+"""Preston equation (step 4 of Fig. 2): removal per unit polish time.
+
+Cook's classic relation [18]: the material removal rate is proportional to
+the product of local pressure and relative velocity,
+``RR = K_p * P * V``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .process import ProcessParams
+
+
+def preston_rate(pressure: np.ndarray | float, params: ProcessParams) -> np.ndarray | float:
+    """Blanket removal rate (Angstrom/s) at local ``pressure`` (psi)."""
+    return params.preston_coefficient * pressure * params.velocity_mps
+
+
+def removed_amount(
+    pressure: np.ndarray | float, dt_s: float, params: ProcessParams
+) -> np.ndarray | float:
+    """Material removed (Angstrom) during ``dt_s`` seconds of polishing."""
+    if dt_s < 0:
+        raise ValueError(f"negative polish interval: {dt_s}")
+    return preston_rate(pressure, params) * dt_s

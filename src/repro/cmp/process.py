@@ -1,0 +1,112 @@
+"""CMP process parameters (45 nm-like calibration).
+
+The paper's simulator is "calibrated under a 45nm process of a foundry";
+we obviously cannot ship that calibration, so :class:`ProcessParams`
+carries a physically plausible parameter set with the same structure:
+Preston constant, down pressure and relative velocity, rough-pad contact
+character length (the 20-100 um range of [16] that motivates the conv-net
+analogy), DSH contact height, and polish schedule.
+
+Heights are in Angstroms, lateral lengths in micrometres, time in seconds
+and pressure in psi throughout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class ProcessParams:
+    """Parameters of the full-chip CMP process model.
+
+    Attributes:
+        preston_coefficient: ``K_p`` such that the blanket removal rate is
+            ``K_p * pressure * velocity`` (Angstrom / s per psi*(m/s)).
+        pressure_psi: nominal applied down pressure ``P0``.
+        velocity_mps: relative pad-wafer velocity.
+        character_length_um: lateral range over which the rough pad's
+            asperities correlate (paper cites 20-100 um [16]); documents
+            the within-window contact scale that motivates the conv-net
+            locality argument.
+        planarization_length_um: lateral scale of the pad's pressure
+            coupling: topography shorter than this draws a pressure excess
+            and is planarized; longer topography is conformed to.  Kept at
+            the top of the paper's 20-100 um character-length range [16],
+            which is what bounds the number of correlated windows and
+            makes a convolutional surrogate with a modest receptive field
+            faithful (Section III-B).
+        pad_stiffness: dimensionless gain converting relative envelope
+            height (Angstrom, vs the pad-conformed reference) into a
+            pressure perturbation fraction.
+        contact_height_a: DSH model contact height ``h_c`` (Angstrom):
+            the step height below which the pad begins to touch down areas.
+        polish_time_s: total polish time per layer.
+        time_step_s: integration step of the polish loop.
+        initial_film_a: film thickness above the substrate before polish
+            (at the down-area level); reported heights are the remaining
+            absolute film thickness, so they stay positive for sensible
+            polish schedules — matching the paper's "positive height of
+            each window".
+        deposition_bias_um: conformal deposition widens features; effective
+            density gains ``perimeter * bias / (2 * window_area)``.
+        dishing_coefficient: Angstrom of dishing per (psi * um of wire
+            width) at end of polish.
+        erosion_coefficient: Angstrom of erosion per (psi * unit density *
+            second of over-polish).
+        min_effective_density: clamp to keep the DSH load division finite
+            in empty windows.
+        stack_topography: when True, each layer's deposition conforms to
+            the residual topography the previous layer left behind
+            (multilevel metallisation coupling); layers then polish
+            sequentially instead of independently.
+        stacking_attenuation: fraction of the previous layer's residual
+            (mean-removed) topography carried into the next layer's
+            starting surfaces.
+    """
+
+    preston_coefficient: float = 60.0
+    pressure_psi: float = 5.0
+    velocity_mps: float = 1.0
+    character_length_um: float = 60.0
+    planarization_length_um: float = 100.0
+    pad_stiffness: float = 3.0e-4
+    contact_height_a: float = 500.0
+    polish_time_s: float = 60.0
+    time_step_s: float = 1.0
+    initial_film_a: float = 20000.0
+    deposition_bias_um: float = 0.03
+    dishing_coefficient: float = 2.0
+    erosion_coefficient: float = 0.5
+    min_effective_density: float = 0.02
+    stack_topography: bool = False
+    stacking_attenuation: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.stacking_attenuation <= 1.0:
+            raise ValueError("stacking_attenuation must be in [0, 1]")
+        if self.polish_time_s <= 0 or self.time_step_s <= 0:
+            raise ValueError("polish/time step must be positive")
+        if self.time_step_s > self.polish_time_s:
+            raise ValueError("time step larger than total polish time")
+        if not (0 < self.min_effective_density < 1):
+            raise ValueError("min_effective_density must be in (0, 1)")
+        if self.contact_height_a <= 0:
+            raise ValueError("contact height must be positive")
+
+    @property
+    def blanket_rate(self) -> float:
+        """Blanket (featureless wafer) removal rate in Angstrom/s."""
+        return self.preston_coefficient * self.pressure_psi * self.velocity_mps
+
+    @property
+    def num_steps(self) -> int:
+        return max(1, int(round(self.polish_time_s / self.time_step_s)))
+
+    def scaled(self, **overrides) -> "ProcessParams":
+        """Copy with selected fields replaced (convenience for sweeps)."""
+        return replace(self, **overrides)
+
+
+#: Default calibration used by examples, tests and benches.
+DEFAULT_PROCESS = ProcessParams()

@@ -1,0 +1,35 @@
+"""Shared constants and helpers for the NeurFill reproduction.
+
+The paper works on layouts divided into uniform windows of
+``100 um x 100 um`` (Section V).  All areas in this code base are expressed
+in square micrometres (um^2) and all heights in Angstroms (A), matching the
+units the paper reports (e.g. ``DeltaH`` in Angstroms in Table III).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Side length of a filling/simulation window in micrometres (paper SS V).
+WINDOW_SIZE_UM: float = 100.0
+
+#: Area of one window in um^2.
+WINDOW_AREA_UM2: float = WINDOW_SIZE_UM * WINDOW_SIZE_UM
+
+#: Number of metal layers used by all three benchmark designs (Table II).
+DEFAULT_NUM_LAYERS: int = 3
+
+#: Default seed used by deterministic example scripts and benchmarks.
+DEFAULT_SEED: int = 2021
+
+
+def rng_from_seed(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    Accepts ``None`` (fresh entropy), an integer seed, or an existing
+    generator (returned unchanged) so that every stochastic entry point in
+    the library can share one seeding convention.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)

@@ -1,0 +1,111 @@
+"""MSP-SQP: multiple-starting-point SQP over the quality score (Fig. 7).
+
+The framework couples
+
+* the **CMP neural network** (planarity score + gradient via forward and
+  backward propagation),
+* the **performance-degradation estimation** (analytic score + gradient),
+
+into one maximisation objective ``S_qual = S_plan + S_PD`` (Eq. 5a), then
+runs box-constrained SQP from each starting point and keeps the best
+refined solution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..optimize.sqp import SqpOptimizer, SqpResult
+from ..surrogate.network import CmpNeuralNetwork
+from ..surrogate.objectives import PlanarityBreakdown
+from .degradation import DegradationBreakdown, PerformanceDegradation
+from .problem import FillProblem
+
+
+@dataclass
+class QualityEvaluation:
+    """Quality score, gradient and both breakdowns at one fill vector."""
+
+    quality: float
+    gradient: np.ndarray | None
+    planarity: PlanarityBreakdown
+    degradation: DegradationBreakdown
+
+
+class QualityModel:
+    """``S_qual`` evaluator combining surrogate planarity and analytic PD.
+
+    Counts every network forward pass in :attr:`evaluations` so runtime
+    benches can report evaluation budgets.
+    """
+
+    def __init__(self, problem: FillProblem, network: CmpNeuralNetwork):
+        if network.layout is not problem.layout:
+            # Allow equal layouts bound separately, but shapes must agree.
+            if network.layout.shape != problem.layout.shape:
+                raise ValueError("network bound to a different layout shape")
+        self.problem = problem
+        self.network = network
+        self.weights = problem.coefficients.planarity_weights()
+        self.degradation = PerformanceDegradation(
+            problem.layout, problem.coefficients
+        )
+        self.evaluations = 0
+
+    def evaluate(self, fill: np.ndarray, want_grad: bool = True) -> QualityEvaluation:
+        self.evaluations += 1
+        fill = self.problem.clip(fill)
+        plan = self.network.evaluate(fill, self.weights, want_grad=want_grad)
+        pd_breakdown, pd_grad = self.degradation.evaluate(fill, want_grad=want_grad)
+        quality = plan.s_plan + pd_breakdown.s_pd
+        gradient = None
+        if want_grad:
+            gradient = plan.gradient + pd_grad
+        return QualityEvaluation(
+            quality=quality, gradient=gradient,
+            planarity=plan.breakdown, degradation=pd_breakdown,
+        )
+
+    # Convenience adapters ------------------------------------------------
+    def quality(self, fill: np.ndarray) -> float:
+        return self.evaluate(fill, want_grad=False).quality
+
+    def value_and_grad(self, fill: np.ndarray) -> tuple[float, np.ndarray]:
+        ev = self.evaluate(fill, want_grad=True)
+        return ev.quality, ev.gradient
+
+
+@dataclass
+class MspSqpOutcome:
+    """Best refined solution plus the per-start SQP results."""
+
+    best_fill: np.ndarray
+    best_quality: float
+    results: list[SqpResult]
+    evaluations: int
+
+
+def msp_sqp(
+    model: QualityModel,
+    starts: list[np.ndarray],
+    optimizer: SqpOptimizer | None = None,
+) -> MspSqpOutcome:
+    """Refine every starting point with SQP; return the best solution."""
+    if not starts:
+        raise ValueError("MSP-SQP needs at least one starting point")
+    optimizer = optimizer or SqpOptimizer()
+    lower = model.problem.lower
+    upper = model.problem.upper
+    before = model.evaluations
+    results = [
+        optimizer.maximize(model.value_and_grad, s, lower, upper,
+                           fun_value=model.quality)
+        for s in starts
+    ]
+    best = max(results, key=lambda r: r.value)
+    return MspSqpOutcome(
+        best_fill=best.x, best_quality=best.value, results=results,
+        evaluations=model.evaluations - before,
+    )

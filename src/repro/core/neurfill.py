@@ -1,0 +1,180 @@
+"""The NeurFill framework facade (paper Section IV, Fig. 7).
+
+Two operating modes, matching Table III's rows:
+
+* :meth:`NeurFill.run_pkb` — prior-knowledge-based starting point (linear
+  target-density search, Eq. 18) followed by one SQP refinement.  Fast;
+  quality depends on the empirical prior.
+* :meth:`NeurFill.run_multimodal` — NMMSO locates the peak regions of the
+  quality score, every located optimum seeds an SQP refinement (MSP-SQP),
+  and the best refined solution wins.  Slower, but independent of prior
+  knowledge and certifiably the best of all located local optima.
+
+Both modes evaluate planarity through the CMP neural network (backprop
+gradients) and performance degradation analytically.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..cmp.simulator import CmpSimulator
+from ..optimize.nmmso import Nmmso
+from ..optimize.sqp import SqpOptimizer
+from ..surrogate.network import CmpNeuralNetwork
+from .msp_sqp import QualityModel, msp_sqp
+from .pkb import pkb_starting_point
+from .problem import FillProblem
+from .result import FillResult
+from .scoring import evaluate_solution
+
+
+class NeurFill:
+    """Model-based dummy filling synthesis with a neural CMP surrogate.
+
+    Args:
+        problem: layout + score coefficients.
+        network: pre-trained CMP neural network bound to the same layout.
+        optimizer: SQP configuration (scalable L-BFGS mode by default).
+    """
+
+    def __init__(self, problem: FillProblem, network: CmpNeuralNetwork,
+                 optimizer: SqpOptimizer | None = None,
+                 simulator: "CmpSimulator | None" = None):
+        self.problem = problem
+        self.model = QualityModel(problem, network)
+        # Score gradients are ~alpha/beta, i.e. tiny in um^2 units, so the
+        # projected-gradient tolerance must sit well below them.
+        self.optimizer = optimizer or SqpOptimizer(max_iter=60, tol=1e-9)
+        self.simulator = simulator
+
+    # ------------------------------------------------------------------
+    def _simulator_quality(self, fill: np.ndarray) -> float:
+        return evaluate_solution(self.problem, fill, "probe",
+                                 simulator=self.simulator).quality
+
+    def run_pkb(self, num_candidates: int = 9) -> FillResult:
+        """NeurFill (PKB): prior-knowledge starting point + SQP.
+
+        When a simulator was passed to the constructor it is used for two
+        cheap *selection* decisions (gradients stay pure backprop):
+
+        * ranking the ``num_candidates`` PKB targets of the linear search
+          (the paper's prior method [12] also ranks them with the model);
+        * keeping the refined solution only if the simulator agrees it
+          beats the starting point — a guard against surrogate error at
+          reduced training budgets (see EXPERIMENTS.md).
+
+        Total extra cost: ``num_candidates + 2`` simulator invocations,
+        i.e. ~1e-4 of one finite-difference gradient.
+        """
+        t0 = time.perf_counter()
+        start_evals = self.model.evaluations
+        selector = (self._simulator_quality if self.simulator is not None
+                    else self.model.quality)
+        pkb = pkb_starting_point(
+            self.problem.layout, selector, num_candidates
+        )
+        outcome = msp_sqp(self.model, [pkb.fill], self.optimizer)
+        best_fill = outcome.best_fill
+        if self.simulator is not None:
+            if self._simulator_quality(best_fill) < self._simulator_quality(pkb.fill):
+                best_fill = pkb.fill
+        final = self.model.evaluate(best_fill, want_grad=False)
+        return FillResult(
+            method="neurfill-pkb",
+            fill=best_fill,
+            quality=final.quality,
+            planarity=final.planarity,
+            degradation=final.degradation,
+            runtime_s=time.perf_counter() - t0,
+            evaluations=self.model.evaluations - start_evals,
+            starts=1,
+            extras={"pkb_targets": pkb.targets.tolist(),
+                    "pkb_quality": pkb.quality},
+        )
+
+    # ------------------------------------------------------------------
+    def run_multimodal(
+        self,
+        max_evaluations: int = 600,
+        top_k: int = 4,
+        include_pkb: bool = False,
+        seed: int = 0,
+    ) -> FillResult:
+        """NeurFill (MM): multi-modal starting-point search + MSP-SQP.
+
+        Args:
+            max_evaluations: NMMSO objective budget (network forwards).
+            top_k: number of located optima refined by SQP.
+            include_pkb: additionally seed with the PKB start (off by
+                default — the paper stresses MM needs no prior knowledge).
+            seed: NMMSO RNG seed.
+
+        The winner among the refined candidates is picked with the *real*
+        CMP simulator when one was passed to the constructor ("the best
+        among all available local optimums" must not be an artefact of
+        surrogate error — this costs ``top_k`` simulator calls); without a
+        simulator, surrogate quality decides.
+        """
+        t0 = time.perf_counter()
+        start_evals = self.model.evaluations
+        search = Nmmso(
+            self.model.quality,
+            lower=self.problem.lower,
+            upper=self.problem.upper,
+            max_evaluations=max_evaluations,
+            seed=seed,
+        )
+        found = search.run()
+        starts = [o.x for o in found.optima[:top_k]]
+        if include_pkb:
+            starts.append(
+                pkb_starting_point(self.problem.layout, self.model.quality).fill
+            )
+        outcome = msp_sqp(self.model, starts, self.optimizer)
+        best_fill = outcome.best_fill
+        if self.simulator is not None:
+            candidates = [r.x for r in outcome.results]
+            verdicts = [
+                evaluate_solution(self.problem, c, "mm-candidate",
+                                  simulator=self.simulator).quality
+                for c in candidates
+            ]
+            best_fill = candidates[int(np.argmax(verdicts))]
+        final = self.model.evaluate(best_fill, want_grad=False)
+        return FillResult(
+            method="neurfill-mm",
+            fill=best_fill,
+            quality=final.quality,
+            planarity=final.planarity,
+            degradation=final.degradation,
+            runtime_s=time.perf_counter() - t0,
+            evaluations=self.model.evaluations - start_evals,
+            starts=len(starts),
+            extras={
+                "nmmso_optima": len(found.optima),
+                "nmmso_evaluations": found.evaluations,
+                "refined_qualities": [r.value for r in outcome.results],
+            },
+        )
+
+    # ------------------------------------------------------------------
+    def run_from_start(self, start: np.ndarray, method: str = "neurfill-custom") -> FillResult:
+        """Single-start SQP refinement from a caller-provided fill."""
+        t0 = time.perf_counter()
+        start_evals = self.model.evaluations
+        outcome = msp_sqp(self.model, [self.problem.clip(start)], self.optimizer)
+        final = self.model.evaluate(outcome.best_fill, want_grad=False)
+        return FillResult(
+            method=method,
+            fill=outcome.best_fill,
+            quality=final.quality,
+            planarity=final.planarity,
+            degradation=final.degradation,
+            runtime_s=time.perf_counter() - t0,
+            evaluations=self.model.evaluations - start_evals,
+            starts=1,
+        )

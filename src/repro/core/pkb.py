@@ -1,0 +1,91 @@
+"""Prior-knowledge-based (PKB) starting-point generation (Section IV-C).
+
+Modified from rule-based target density planning [10]: pick a target
+density ``td_l`` per layer, fill every window up to it (Eq. 18), and
+linearly search the target over its feasible range, keeping the candidate
+with the best quality score.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..layout.layout import Layout
+
+#: Signature: fill -> quality score (higher is better).
+QualityFn = Callable[[np.ndarray], float]
+
+
+def fill_for_target_density(layout: Layout, targets: np.ndarray) -> np.ndarray:
+    """Eq. 18: the maximum-uniformity fill for per-layer targets ``td_l``.
+
+    Windows denser than the target get nothing; windows that cannot reach
+    it are filled to their slack; the rest are topped up exactly.
+    """
+    targets = np.asarray(targets, dtype=float)
+    if targets.shape != (layout.num_layers,):
+        raise ValueError(
+            f"expected {layout.num_layers} per-layer targets, got shape {targets.shape}"
+        )
+    area = layout.grid.window_area
+    rho = layout.density_stack()
+    slack = layout.slack_stack()
+    wanted = (targets[:, None, None] - rho) * area
+    return np.clip(wanted, 0.0, slack)
+
+
+def target_density_range(layout: Layout) -> tuple[np.ndarray, np.ndarray]:
+    """Feasible per-layer target range: ``[min density, max reachable]``."""
+    rho = layout.density_stack()
+    reach = rho + layout.slack_stack() / layout.grid.window_area
+    lo = rho.min(axis=(1, 2))
+    hi = reach.max(axis=(1, 2))
+    return lo, hi
+
+
+@dataclass
+class PkbResult:
+    """Best candidate of the linear target-density search."""
+
+    fill: np.ndarray
+    targets: np.ndarray
+    quality: float
+    candidates_evaluated: int
+
+
+def pkb_starting_point(
+    layout: Layout,
+    quality_fn: QualityFn,
+    num_candidates: int = 9,
+) -> PkbResult:
+    """Linear search of the target layer density (Section IV-C).
+
+    Candidates interpolate each layer's target between its minimum density
+    and maximum reachable density with a shared fraction (the paper's 1-D
+    "linear search of target layer density"); the candidate with the best
+    quality becomes the starting point.
+
+    Args:
+        layout: target layout.
+        quality_fn: full quality score evaluator (e.g. surrogate planarity
+            + analytic degradation).
+        num_candidates: grid size of the linear search.
+    """
+    if num_candidates < 1:
+        raise ValueError("need at least one candidate")
+    lo, hi = target_density_range(layout)
+    best: PkbResult | None = None
+    for frac in np.linspace(0.0, 1.0, num_candidates):
+        targets = lo + frac * (hi - lo)
+        fill = fill_for_target_density(layout, targets)
+        quality = float(quality_fn(fill))
+        if best is None or quality > best.quality:
+            best = PkbResult(
+                fill=fill, targets=targets, quality=quality,
+                candidates_evaluated=num_candidates,
+            )
+    assert best is not None
+    return best

@@ -1,0 +1,52 @@
+"""Result containers for filling synthesis runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..surrogate.objectives import PlanarityBreakdown
+from .degradation import DegradationBreakdown
+
+
+@dataclass
+class FillResult:
+    """Outcome of one dummy-filling synthesis run.
+
+    Attributes:
+        method: human-readable method tag (``"neurfill-pkb"`` etc.).
+        fill: final fill areas, shape ``(L, N, M)``.
+        quality: surrogate/analytic quality score at the solution
+            (``S_plan + S_PD``, Eq. 5a) as seen by the optimizer.
+        planarity: planarity breakdown at the solution.
+        degradation: performance-degradation breakdown at the solution.
+        runtime_s: wall-clock synthesis time.
+        evaluations: objective evaluations (simulator calls or network
+            forward passes) spent.
+        starts: number of starting points explored (MSP).
+        extras: method-specific diagnostics.
+    """
+
+    method: str
+    fill: np.ndarray
+    quality: float
+    planarity: PlanarityBreakdown | None = None
+    degradation: DegradationBreakdown | None = None
+    runtime_s: float = 0.0
+    evaluations: int = 0
+    starts: int = 1
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def total_fill(self) -> float:
+        return float(self.fill.sum())
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.method}: quality={self.quality:.4f} "
+            f"fill={self.total_fill:.3g} um^2 "
+            f"runtime={self.runtime_s:.2f}s evals={self.evaluations} "
+            f"starts={self.starts}"
+        )

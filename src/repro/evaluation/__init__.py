@@ -1,0 +1,15 @@
+"""Evaluation harness: method comparison and table builders."""
+
+from .comparison import ComparisonRow, FillMethod, run_comparison, run_method
+from .tables import format_histogram, format_table1, format_table2, format_table3
+
+__all__ = [
+    "ComparisonRow",
+    "FillMethod",
+    "format_histogram",
+    "format_table1",
+    "format_table2",
+    "format_table3",
+    "run_comparison",
+    "run_method",
+]

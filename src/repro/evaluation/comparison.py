@@ -1,0 +1,83 @@
+"""Method-comparison harness: runs every filler and scores it (Table III).
+
+Each method's fill is judged by the *real* CMP simulator with the
+design's coefficients; runtime is wall-clock and memory is the Python
+allocation peak during synthesis (tracemalloc), converted to GB for the
+memory criterion.
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..cmp.simulator import CmpSimulator
+from ..core.problem import FillProblem
+from ..core.result import FillResult
+from ..core.scoring import SolutionScore, evaluate_solution
+
+#: Signature of a synthesis method: problem -> FillResult.
+FillMethod = Callable[[FillProblem], FillResult]
+
+
+@dataclass
+class ComparisonRow:
+    """One method's synthesis result plus its simulator-judged score."""
+
+    result: FillResult
+    score: SolutionScore
+    memory_gb: float
+
+
+def run_method(
+    problem: FillProblem,
+    method: FillMethod,
+    simulator: CmpSimulator | None = None,
+    track_memory: bool = True,
+) -> ComparisonRow:
+    """Run one synthesis method and score its output."""
+    simulator = simulator or CmpSimulator()
+    if track_memory:
+        tracemalloc.start()
+    t0 = time.perf_counter()
+    result = method(problem)
+    runtime = time.perf_counter() - t0
+    memory_gb = 0.0
+    if track_memory:
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        memory_gb = peak / 1e9
+    score = evaluate_solution(
+        problem, result.fill, result.method, simulator=simulator,
+        runtime_s=runtime, memory_gb=memory_gb,
+    )
+    return ComparisonRow(result=result, score=score, memory_gb=memory_gb)
+
+
+def run_comparison(
+    problem: FillProblem,
+    methods: dict[str, FillMethod],
+    simulator: CmpSimulator | None = None,
+    include_nofill: bool = True,
+    track_memory: bool = True,
+) -> list[ComparisonRow]:
+    """Run a suite of methods on one problem; rows keep the input order."""
+    if not methods:
+        raise ValueError("no methods supplied")
+    simulator = simulator or CmpSimulator()
+    rows: list[ComparisonRow] = []
+    if include_nofill:
+        nofill = FillResult(method="no-fill", fill=np.zeros(problem.layout.shape),
+                            quality=float("nan"))
+        score = evaluate_solution(problem, nofill.fill, "no-fill",
+                                  simulator=simulator)
+        rows.append(ComparisonRow(result=nofill, score=score, memory_gb=0.0))
+    for name, method in methods.items():
+        row = run_method(problem, method, simulator, track_memory)
+        row.score.method = name
+        rows.append(row)
+    return rows

@@ -1,0 +1,99 @@
+"""Plain-text table formatting for the paper's tables and figures."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.problem import ScoreCoefficients
+from ..core.scoring import SolutionScore
+
+
+def format_table3(rows: list[SolutionScore], title: str = "") -> str:
+    """Render Table III rows: per-method metric scores and totals."""
+    header = (
+        f"{'Method':<14} {'dH(A)':>8} {'Perf':>6} {'Var':>6} {'Line':>6} "
+        f"{'Outl':>6} {'FSize':>6} {'Runtime':>12} {'Mem':>6} "
+        f"{'Quality':>8} {'Overall':>8}"
+    )
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for s in rows:
+        runtime = f"{s.score_runtime:.3f} ({s.runtime_s:.1f}s)"
+        lines.append(
+            f"{s.method:<14} {s.delta_h:>8.1f} {s.score_performance:>6.3f} "
+            f"{s.score_variation:>6.3f} {s.score_line:>6.3f} "
+            f"{s.score_outliers:>6.3f} {s.score_filesize:>6.3f} "
+            f"{runtime:>12} {s.score_memory:>6.3f} "
+            f"{s.quality:>8.3f} {s.overall:>8.3f}"
+        )
+    return "\n".join(lines)
+
+
+def format_table1(
+    sim_eval_s: float,
+    sim_grad_s: float,
+    nn_eval_s: float,
+    nn_grad_s: float,
+    cores_projected: int = 64,
+) -> str:
+    """Render Table I: objective-evaluation and gradient runtimes.
+
+    The simulator columns are measured single-core; the 64-core column is
+    an ideal-scaling projection (documented substitution — the paper
+    measured a real 64-core box).
+    """
+    sim_eval_mc = sim_eval_s  # objective evaluation does not parallelise per-variable
+    sim_grad_mc = sim_grad_s / cores_projected
+    rows = [
+        ("Objective Evaluation", sim_eval_s, sim_eval_mc, nn_eval_s,
+         sim_eval_mc / nn_eval_s if nn_eval_s > 0 else float("inf")),
+        ("Gradient Calculation", sim_grad_s, sim_grad_mc, nn_grad_s,
+         sim_grad_mc / nn_grad_s if nn_grad_s > 0 else float("inf")),
+    ]
+    header = (
+        f"{'Operation':<22} {'Simulator 1c':>14} {'Simulator '+str(cores_projected)+'c*':>15} "
+        f"{'CMP NN':>10} {'Speedup':>10}"
+    )
+    lines = [header, "-" * len(header)]
+    for name, s1, smc, nn, speedup in rows:
+        lines.append(
+            f"{name:<22} {s1:>13.3f}s {smc:>14.3f}s {nn:>9.4f}s {speedup:>9.1f}x"
+        )
+    lines.append(f"* ideal-scaling projection to {cores_projected} cores")
+    return "\n".join(lines)
+
+
+def format_table2(named_coeffs: dict[str, ScoreCoefficients]) -> str:
+    """Render Table II: score-function coefficients per design."""
+    header = (
+        f"{'Design':<7} {'a_ov':>5} {'b_ov':>10} {'a_fa':>5} {'b_fa':>10} "
+        f"{'a_s':>5} {'b_s':>9} {'a_s*':>5} {'b_s*':>9} {'a_ol':>5} {'b_ol':>7} "
+        f"{'a_fs':>5} {'b_fs':>8} {'a_t':>4} {'b_t':>7} {'a_m':>4} {'b_m':>5}"
+    )
+    lines = [header, "-" * len(header)]
+    for name, c in named_coeffs.items():
+        lines.append(
+            f"{name:<7} {c.alpha_overlay:>5.2f} {c.beta_overlay:>10.0f} "
+            f"{c.alpha_fill:>5.2f} {c.beta_fill:>10.0f} "
+            f"{c.alpha_sigma:>5.2f} {c.beta_sigma:>9.1f} "
+            f"{c.alpha_line:>5.2f} {c.beta_line:>9.0f} "
+            f"{c.alpha_outlier:>5.2f} {c.beta_outlier:>7.2f} "
+            f"{c.alpha_filesize:>5.2f} {c.beta_filesize:>8.1f} "
+            f"{c.alpha_runtime:>4.2f} {c.beta_runtime:>6.0f}s "
+            f"{c.alpha_memory:>4.2f} {c.beta_memory:>4.0f}G"
+        )
+    return "\n".join(lines)
+
+
+def format_histogram(counts: np.ndarray, edges: np.ndarray,
+                     title: str = "", width: int = 40) -> str:
+    """ASCII histogram (Fig. 9 rendering)."""
+    lines = [title] if title else []
+    peak = max(int(counts.max()), 1)
+    for count, lo, hi in zip(counts, edges[:-1], edges[1:]):
+        bar = "#" * int(round(width * count / peak))
+        lines.append(f"{lo * 100:6.2f}%-{hi * 100:6.2f}% | {bar} {count}")
+    return "\n".join(lines)

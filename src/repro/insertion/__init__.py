@@ -1,0 +1,22 @@
+"""Filling insertion: turn synthesis results into dummy shapes."""
+
+from .io import load_shapes, save_shapes, shapes_from_dict, shapes_to_dict
+from .placer import (
+    DummyShape,
+    InsertionResult,
+    insert_dummies,
+    rasterise_shapes,
+    window_capacity,
+)
+
+__all__ = [
+    "DummyShape",
+    "InsertionResult",
+    "insert_dummies",
+    "load_shapes",
+    "rasterise_shapes",
+    "save_shapes",
+    "shapes_from_dict",
+    "shapes_to_dict",
+    "window_capacity",
+]

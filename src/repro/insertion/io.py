@@ -1,0 +1,40 @@
+"""Serialisation of inserted dummy shapes (GDS-free interchange)."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..layout.geometry import Rect
+from .placer import DummyShape
+
+_FORMAT_VERSION = 1
+
+
+def shapes_to_dict(shapes: list[DummyShape]) -> dict:
+    return {
+        "format_version": _FORMAT_VERSION,
+        "shapes": [
+            {"layer": s.layer,
+             "rect": [s.rect.x0, s.rect.y0, s.rect.x1, s.rect.y1]}
+            for s in shapes
+        ],
+    }
+
+
+def shapes_from_dict(data: dict) -> list[DummyShape]:
+    version = data.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported shapes format version: {version!r}")
+    return [
+        DummyShape(layer=int(item["layer"]), rect=Rect(*item["rect"]))
+        for item in data["shapes"]
+    ]
+
+
+def save_shapes(shapes: list[DummyShape], path: str | Path) -> None:
+    Path(path).write_text(json.dumps(shapes_to_dict(shapes)))
+
+
+def load_shapes(path: str | Path) -> list[DummyShape]:
+    return shapes_from_dict(json.loads(Path(path).read_text()))

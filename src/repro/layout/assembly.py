@@ -1,0 +1,147 @@
+"""Two-step random training-data generation (paper Fig. 8).
+
+The paper cannot collect enough real layouts to train the UNet, so it:
+
+1. chops the available designs into windows and randomly re-assembles the
+   windows into new layouts of the network's fixed input size; then
+2. inserts random dummies into the assembled layouts "with no design rule
+   violation" (i.e. within each window's slack).
+
+Both steps are reproduced here.  Step 1 samples windows (with their full
+feature tuple) from a pool built from one or more source layouts; step 2
+draws a random legal fill and bakes it into the layer statistics via
+:func:`repro.layout.layout.apply_fill` so the simulator sees a post-fill
+pattern.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import rng_from_seed
+from .grid import WindowGrid
+from .layout import LayerWindows, Layout, apply_fill
+
+
+def window_pool(layouts: list[Layout]) -> dict[str, np.ndarray]:
+    """Flatten source layouts into per-window feature records.
+
+    Returns arrays keyed by feature name, each of shape ``(P, L)`` where
+    ``P`` is the pool size (one entry per (i, j) window position across all
+    source layouts) and ``L`` the layer count.  All source layouts must
+    share the same layer count.
+    """
+    if not layouts:
+        raise ValueError("need at least one source layout")
+    L = layouts[0].num_layers
+    if any(l.num_layers != L for l in layouts):
+        raise ValueError("all source layouts must have the same layer count")
+
+    def flat(stack: np.ndarray) -> np.ndarray:
+        # (L, N, M) -> (N*M, L)
+        return stack.reshape(stack.shape[0], -1).T
+
+    keys = ("density", "slack", "perimeter", "width")
+    pools = {k: [] for k in keys}
+    for layout in layouts:
+        pools["density"].append(flat(layout.density_stack()))
+        pools["slack"].append(flat(layout.slack_stack()))
+        pools["perimeter"].append(flat(layout.perimeter_stack()))
+        pools["width"].append(flat(layout.width_stack()))
+    return {k: np.concatenate(v, axis=0) for k, v in pools.items()}
+
+
+def assemble_layout(
+    pool: dict[str, np.ndarray],
+    rows: int,
+    cols: int,
+    trench_depths: np.ndarray,
+    rng: np.random.Generator,
+    name: str = "assembled",
+) -> Layout:
+    """Step 1: draw ``rows*cols`` windows from the pool and tile them."""
+    P, L = pool["density"].shape
+    idx = rng.integers(0, P, size=rows * cols)
+    grid = WindowGrid(rows, cols)
+    layers = []
+    for l in range(L):
+        layers.append(
+            LayerWindows(
+                name=f"M{l + 1}",
+                density=pool["density"][idx, l].reshape(rows, cols),
+                slack=pool["slack"][idx, l].reshape(rows, cols),
+                wire_perimeter=pool["perimeter"][idx, l].reshape(rows, cols),
+                wire_width=pool["width"][idx, l].reshape(rows, cols),
+                trench_depth=float(trench_depths[l]),
+            )
+        )
+    return Layout(name, grid, layers, metadata={"kind": "assembled"})
+
+
+def random_legal_fill(layout: Layout, rng: np.random.Generator) -> np.ndarray:
+    """Step 2: a random fill within each window's slack (no rule violation).
+
+    The fill is hierarchical: a per-layer global level times per-window
+    uniform noise.  Pure per-window uniform fills would concentrate every
+    training layout around half-full density — the surrogate would then
+    never see near-unfilled or near-full regimes, exactly the candidates
+    the PKB linear search must rank.
+    """
+    slack = layout.slack_stack()
+    level = rng.random((layout.num_layers, 1, 1))
+    return level * rng.random(slack.shape) * slack
+
+
+def generate_training_layouts(
+    sources: list[Layout],
+    count: int,
+    rows: int,
+    cols: int,
+    seed: int | np.random.Generator | None = 0,
+) -> list[tuple[Layout, np.ndarray]]:
+    """Full two-step procedure: ``count`` assembled layouts with random fill.
+
+    Returns ``(layout, fill)`` pairs; callers push them through
+    :func:`repro.layout.layout.apply_fill` (or the surrogate's extraction
+    layer) and the CMP simulator to label them.
+    """
+    rng = rng_from_seed(seed)
+    pool = window_pool(sources)
+    depths = sources[0].trench_depths()
+    out = []
+    for k in range(count):
+        layout = assemble_layout(pool, rows, cols, depths, rng, name=f"train_{k:05d}")
+        fill = random_legal_fill(layout, rng)
+        out.append((layout, fill))
+    return out
+
+
+def tile_to_size(layout: Layout, rows: int, cols: int) -> Layout:
+    """Duplicate a small layout periodically to cover a fixed network size.
+
+    Implements the paper's rule that "layouts smaller than the fixed size
+    will be duplicated several times to cover the whole input layout".
+    Layouts already at least as large are cropped to the requested size.
+    """
+    reps_r = -(-rows // layout.grid.rows)
+    reps_c = -(-cols // layout.grid.cols)
+
+    def tile(arr: np.ndarray) -> np.ndarray:
+        return np.tile(arr, (reps_r, reps_c))[:rows, :cols]
+
+    layers = [
+        LayerWindows(
+            name=layer.name,
+            density=tile(layer.density),
+            slack=tile(layer.slack),
+            wire_perimeter=tile(layer.wire_perimeter),
+            wire_width=tile(layer.wire_width),
+            trench_depth=layer.trench_depth,
+        )
+        for layer in layout.layers
+    ]
+    grid = WindowGrid(rows, cols, layout.grid.window_um)
+    return Layout(
+        f"{layout.name}_tiled", grid, layers,
+        file_size_mb=layout.file_size_mb, metadata=dict(layout.metadata),
+    )

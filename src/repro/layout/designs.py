@@ -1,0 +1,239 @@
+"""Synthetic benchmark designs standing in for the paper's GDS layouts.
+
+The paper evaluates on three proprietary designs:
+
+* **Design A** — a CMP test chip (5 cm x 5 cm, 16.4 MB): regular arrays of
+  density step wedges, the classic pattern used to calibrate CMP models.
+* **Design B** — an FPGA (6.7 cm x 6.3 cm, 948.7 MB): a highly repetitive
+  logic-tile fabric crossed by lower-density routing channels.
+* **Design C** — a RISC-V CPU (10 cm x 10 cm, 80.6 MB): heterogeneous macro
+  blocks (dense SRAM arrays, medium datapath, sparse periphery).
+
+We cannot ship those GDS files, so each generator below synthesises a layout
+with the same *qualitative* density structure at window granularity — which
+is all the filling problem consumes (see DESIGN.md, substitution table).
+Grids are scaled down so the full pipeline runs on one CPU; pass ``rows`` /
+``cols`` to change the resolution.
+
+All generators are deterministic for a given ``seed``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import rng_from_seed
+from .grid import WindowGrid
+from .layout import MAX_FILL_DENSITY, LayerWindows, Layout
+
+#: Fraction of the theoretical slack that survives spacing-rule keep-outs.
+_SLACK_AVAILABILITY: tuple[float, float] = (0.55, 0.85)
+
+#: Trench depth (Angstrom) per layer index; lower layers are shallower.
+_TRENCH_DEPTHS: tuple[float, ...] = (2800.0, 3200.0, 3600.0)
+
+
+def _derive_layer(
+    name: str,
+    density: np.ndarray,
+    wire_width: float | np.ndarray,
+    trench_depth: float,
+    window_area: float,
+    rng: np.random.Generator,
+) -> LayerWindows:
+    """Build per-window slack/perimeter/width statistics from a density map.
+
+    Wires are modelled as long lines of width ``wire_width``: a window with
+    copper area ``rho * A`` then carries total wire length ``rho*A/w`` and
+    perimeter ``~2 * rho * A / w``.  Slack is the under-dense headroom up to
+    :data:`MAX_FILL_DENSITY`, derated by a spacing-rule availability factor.
+
+    ``wire_width`` may be a per-window array: real designs mix wire
+    pitches per region (fine SRAM bitlines vs wide power routes), which is
+    what separates model-based filling from density-only rules — equal
+    drawn density with different perimeters polishes differently.
+    """
+    density = np.clip(density, 0.0, 0.95)
+    avail = rng.uniform(*_SLACK_AVAILABILITY, size=density.shape)
+    slack = np.maximum(0.0, MAX_FILL_DENSITY - density) * window_area * avail
+    width = np.broadcast_to(np.asarray(wire_width, dtype=float),
+                            density.shape).copy()
+    perimeter = 2.0 * density * window_area / width
+    return LayerWindows(
+        name=name,
+        density=density,
+        slack=slack,
+        wire_perimeter=perimeter,
+        wire_width=width,
+        trench_depth=trench_depth,
+    )
+
+
+def _smooth(field: np.ndarray, passes: int = 1) -> np.ndarray:
+    """Cheap 3x3 box smoothing with edge replication (keeps shape)."""
+    out = field
+    for _ in range(passes):
+        padded = np.pad(out, 1, mode="edge")
+        out = (
+            padded[:-2, :-2] + padded[:-2, 1:-1] + padded[:-2, 2:]
+            + padded[1:-1, :-2] + padded[1:-1, 1:-1] + padded[1:-1, 2:]
+            + padded[2:, :-2] + padded[2:, 1:-1] + padded[2:, 2:]
+        ) / 9.0
+    return out
+
+
+def make_design_a(rows: int = 48, cols: int = 48, seed: int = 0) -> Layout:
+    """CMP test chip: tiled density step wedges plus sparse gaps."""
+    rng = rng_from_seed(seed)
+    grid = WindowGrid(rows, cols)
+    layers = []
+    wedge_levels = np.array([0.10, 0.20, 0.30, 0.45, 0.60, 0.70])
+    for idx in range(3):
+        tile = max(4, rows // 8)
+        density = np.zeros((rows, cols))
+        for bi in range(0, rows, tile):
+            for bj in range(0, cols, tile):
+                # Step wedge index walks across the chip; rotate per layer.
+                step = ((bi // tile) + (bj // tile) * (idx + 1)) % len(wedge_levels)
+                density[bi : bi + tile, bj : bj + tile] = wedge_levels[step]
+        density += rng.normal(0.0, 0.015, size=density.shape)
+        # A few deliberately empty calibration windows.
+        empties = rng.random(density.shape) < 0.03
+        density[empties] = 0.02
+        # Alternate tiles use fine/coarse test structures: same density
+        # wedge, very different perimeters.
+        width = np.full(density.shape, 0.14 + 0.06 * idx)
+        for bi in range(0, rows, tile):
+            for bj in range(0, cols, tile):
+                if ((bi // tile) + (bj // tile)) % 2:
+                    width[bi : bi + tile, bj : bj + tile] *= 2.5
+        layer = _derive_layer(
+            f"M{idx + 1}", density, wire_width=width,
+            trench_depth=_TRENCH_DEPTHS[idx], window_area=grid.window_area, rng=rng,
+        )
+        layers.append(layer)
+    return Layout("design_a", grid, layers, file_size_mb=16.4,
+                  metadata={"kind": "cmp_test"})
+
+
+def make_design_b(rows: int = 64, cols: int = 60, seed: int = 1) -> Layout:
+    """FPGA fabric: repetitive logic tiles crossed by routing channels."""
+    rng = rng_from_seed(seed)
+    grid = WindowGrid(rows, cols)
+    layers = []
+    for idx in range(3):
+        density = np.full((rows, cols), 0.55 - 0.05 * idx)
+        # Routing channels every `pitch` windows (both directions).
+        pitch = 6 + idx
+        density[::pitch, :] = 0.28 - 0.04 * idx
+        density[:, ::pitch] = 0.28 - 0.04 * idx
+        # Column of IO/config blocks along one edge.
+        density[:, : max(2, cols // 16)] = 0.18
+        # Per-tile mismatch from LUT utilisation.
+        density += rng.normal(0.0, 0.02, size=density.shape)
+        density = _smooth(density, passes=1)
+        # Routing channels carry wide buses; logic tiles use fine pitch.
+        width = np.full(density.shape, 0.10 + 0.05 * idx)
+        width[::pitch, :] *= 3.0
+        width[:, ::pitch] *= 3.0
+        layer = _derive_layer(
+            f"M{idx + 1}", density, wire_width=width,
+            trench_depth=_TRENCH_DEPTHS[idx], window_area=grid.window_area, rng=rng,
+        )
+        layers.append(layer)
+    return Layout("design_b", grid, layers, file_size_mb=948.7,
+                  metadata={"kind": "fpga"})
+
+
+def make_design_c(rows: int = 80, cols: int = 80, seed: int = 2) -> Layout:
+    """RISC-V CPU: heterogeneous macros — dense SRAM, datapath, sparse edge."""
+    rng = rng_from_seed(seed)
+    grid = WindowGrid(rows, cols)
+    layers = []
+    for idx in range(3):
+        density = np.full((rows, cols), 0.12)
+        width = np.full((rows, cols), 0.30 + 0.10 * idx)  # sparse periphery: wide routes
+        # Two cache macros (dense, fine-pitch bitlines).
+        ch, cw = rows // 3, cols // 3
+        density[1 : 1 + ch, 1 : 1 + cw] = 0.68 - 0.04 * idx
+        width[1 : 1 + ch, 1 : 1 + cw] = 0.10 + 0.03 * idx
+        density[1 : 1 + ch, cols - 1 - cw : cols - 1] = 0.64 - 0.04 * idx
+        width[1 : 1 + ch, cols - 1 - cw : cols - 1] = 0.10 + 0.03 * idx
+        # Core datapath block in the centre (medium pitch).
+        dh, dw = rows // 2, cols // 2
+        r0, c0 = rows // 3 + 2, cols // 5
+        density[r0 : r0 + dh, c0 : c0 + dw] = 0.48 - 0.03 * idx
+        width[r0 : r0 + dh, c0 : c0 + dw] = 0.16 + 0.05 * idx
+        # Random standard-cell islands.
+        for _ in range(8):
+            h = int(rng.integers(rows // 10, rows // 4))
+            w = int(rng.integers(cols // 10, cols // 4))
+            r = int(rng.integers(0, rows - h))
+            c = int(rng.integers(0, cols - w))
+            density[r : r + h, c : c + w] = rng.uniform(0.30, 0.55)
+            width[r : r + h, c : c + w] = rng.uniform(0.12, 0.35)
+        density += rng.normal(0.0, 0.02, size=density.shape)
+        density = _smooth(density, passes=1)
+        layer = _derive_layer(
+            f"M{idx + 1}", density, wire_width=width,
+            trench_depth=_TRENCH_DEPTHS[idx], window_area=grid.window_area, rng=rng,
+        )
+        layers.append(layer)
+    return Layout("design_c", grid, layers, file_size_mb=80.6,
+                  metadata={"kind": "riscv_cpu"})
+
+
+def make_two_fillable_window_layout(
+    rows: int = 10, cols: int = 10, seed: int = 7,
+    windows: tuple[tuple[int, int], tuple[int, int]] = ((2, 4), (7, 4)),
+) -> Layout:
+    """The Fig. 6 toy: a single-layer layout where only two windows have slack.
+
+    Every other window's slack is forced to zero so the quality score is a
+    function of just two fill variables, letting benches sweep and plot the
+    multi-modal topography the paper shows.  The defaults place both
+    fillable windows in the same grid column: the line-deviation objective
+    then couples them through the shared column mean and, together with
+    the variance/fill-amount trade-off, the surface develops several local
+    maxima (a 17x17 sweep of the default toy shows five).
+    """
+    rng = rng_from_seed(seed)
+    grid = WindowGrid(rows, cols)
+    density = 0.40 + 0.05 * rng.random((rows, cols))
+    wire_width = 0.14
+    layer = _derive_layer(
+        "M1", density, wire_width=wire_width,
+        trench_depth=_TRENCH_DEPTHS[0], window_area=grid.window_area, rng=rng,
+    )
+    mask = np.zeros((rows, cols), dtype=bool)
+    for (i, j) in windows:
+        mask[i, j] = True
+        layer.density[i, j] = 0.10
+        layer.wire_perimeter[i, j] = 2.0 * 0.10 * grid.window_area / wire_width
+    slack = np.where(mask, 0.8 * grid.window_area, 0.0)
+    layer.slack[:, :] = slack
+    return Layout("two_window_toy", grid, [layer], file_size_mb=0.1,
+                  metadata={"kind": "fig6_toy", "fillable": list(map(list, windows))})
+
+
+#: Registry used by examples / benches to iterate the paper's designs.
+DESIGN_BUILDERS = {
+    "A": make_design_a,
+    "B": make_design_b,
+    "C": make_design_c,
+}
+
+
+def make_design(key: str, scale: float = 1.0, seed: int | None = None) -> Layout:
+    """Build design ``"A"``/``"B"``/``"C"`` with an optional grid scale factor."""
+    try:
+        builder = DESIGN_BUILDERS[key.upper()]
+    except KeyError:
+        raise ValueError(f"unknown design {key!r}; expected one of {sorted(DESIGN_BUILDERS)}")
+    defaults = {"A": (48, 48), "B": (64, 60), "C": (80, 80)}[key.upper()]
+    rows = max(8, int(round(defaults[0] * scale)))
+    cols = max(8, int(round(defaults[1] * scale)))
+    kwargs = {"rows": rows, "cols": cols}
+    if seed is not None:
+        kwargs["seed"] = seed
+    return builder(**kwargs)

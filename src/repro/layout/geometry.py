@@ -1,0 +1,100 @@
+"""Minimal rectangle geometry used by the layout substrate.
+
+The reproduction does not parse real GDSII; layouts are represented at the
+window granularity the filling problem actually consumes.  Rectangles are
+still useful for building synthetic designs (macros, routing channels) and
+for the window-extraction logic that rasterises them onto the grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Rect:
+    """Axis-aligned rectangle with ``(x0, y0)`` lower-left corner, in um."""
+
+    x0: float
+    y0: float
+    x1: float
+    y1: float
+
+    def __post_init__(self) -> None:
+        if self.x1 < self.x0 or self.y1 < self.y0:
+            raise ValueError(f"degenerate rect: {self}")
+
+    @property
+    def width(self) -> float:
+        return self.x1 - self.x0
+
+    @property
+    def height(self) -> float:
+        return self.y1 - self.y0
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def perimeter(self) -> float:
+        return 2.0 * (self.width + self.height)
+
+    def intersects(self, other: "Rect") -> bool:
+        """True when the two rectangles overlap with positive area."""
+        return (
+            self.x0 < other.x1
+            and other.x0 < self.x1
+            and self.y0 < other.y1
+            and other.y0 < self.y1
+        )
+
+    def intersection(self, other: "Rect") -> "Rect | None":
+        """Overlap rectangle, or ``None`` when the overlap area is zero."""
+        if not self.intersects(other):
+            return None
+        return Rect(
+            max(self.x0, other.x0),
+            max(self.y0, other.y0),
+            min(self.x1, other.x1),
+            min(self.y1, other.y1),
+        )
+
+    def translated(self, dx: float, dy: float) -> "Rect":
+        return Rect(self.x0 + dx, self.y0 + dy, self.x1 + dx, self.y1 + dy)
+
+    def contains_point(self, x: float, y: float) -> bool:
+        return self.x0 <= x < self.x1 and self.y0 <= y < self.y1
+
+
+def union_area(rects: list[Rect]) -> float:
+    """Exact union area of a set of rectangles (sweep over x slabs).
+
+    Used by tests and by the rasteriser to validate density accounting on
+    small synthetic cells; intended for modest ``len(rects)``.
+    """
+    if not rects:
+        return 0.0
+    xs = sorted({r.x0 for r in rects} | {r.x1 for r in rects})
+    total = 0.0
+    for left, right in zip(xs[:-1], xs[1:]):
+        slab_w = right - left
+        if slab_w <= 0:
+            continue
+        spans = sorted(
+            (r.y0, r.y1) for r in rects if r.x0 <= left and r.x1 >= right
+        )
+        covered = 0.0
+        cur_lo = cur_hi = None
+        for lo, hi in spans:
+            if cur_lo is None:
+                cur_lo, cur_hi = lo, hi
+            elif lo <= cur_hi:
+                cur_hi = max(cur_hi, hi)
+            else:
+                covered += cur_hi - cur_lo
+                cur_lo, cur_hi = lo, hi
+        if cur_lo is not None:
+            covered += cur_hi - cur_lo
+        total += covered * slab_w
+    return total

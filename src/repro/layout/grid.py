@@ -1,0 +1,63 @@
+"""Uniform window grid that discretises a chip for CMP and filling.
+
+The paper divides every layout into uniform ``100 um x 100 um`` windows
+(Section V); both the full-chip CMP simulator and the filling problem
+operate at this granularity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import WINDOW_SIZE_UM
+
+
+@dataclass(frozen=True)
+class WindowGrid:
+    """An ``rows x cols`` grid of square windows.
+
+    ``rows`` is the paper's ``N`` (index ``i``) and ``cols`` is ``M``
+    (index ``j``).
+    """
+
+    rows: int
+    cols: int
+    window_um: float = WINDOW_SIZE_UM
+
+    def __post_init__(self) -> None:
+        if self.rows <= 0 or self.cols <= 0:
+            raise ValueError(f"grid must be non-empty, got {self.rows}x{self.cols}")
+        if self.window_um <= 0:
+            raise ValueError(f"window size must be positive, got {self.window_um}")
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.rows, self.cols)
+
+    @property
+    def num_windows(self) -> int:
+        return self.rows * self.cols
+
+    @property
+    def window_area(self) -> float:
+        """Area of one window in um^2."""
+        return self.window_um * self.window_um
+
+    @property
+    def chip_width_um(self) -> float:
+        return self.cols * self.window_um
+
+    @property
+    def chip_height_um(self) -> float:
+        return self.rows * self.window_um
+
+    def window_of(self, x_um: float, y_um: float) -> tuple[int, int]:
+        """Grid index ``(i, j)`` of the window containing point ``(x, y)``.
+
+        Raises :class:`ValueError` for points outside the chip.
+        """
+        j = int(x_um // self.window_um)
+        i = int(y_um // self.window_um)
+        if not (0 <= i < self.rows and 0 <= j < self.cols):
+            raise ValueError(f"point ({x_um}, {y_um}) outside {self.rows}x{self.cols} grid")
+        return (i, j)

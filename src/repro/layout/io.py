@@ -1,0 +1,81 @@
+"""JSON persistence for window-granularity layouts.
+
+Real flows exchange GDSII; this reproduction's layouts live at window
+granularity, so a compact JSON container (with base-area arrays as nested
+lists) is the interchange format.  Round-tripping is exact for the fields
+the pipeline consumes.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from .grid import WindowGrid
+from .layout import LayerWindows, Layout
+
+_FORMAT_VERSION = 1
+
+
+def layout_to_dict(layout: Layout) -> dict:
+    """Serialise a layout to plain JSON-compatible types."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "name": layout.name,
+        "grid": {
+            "rows": layout.grid.rows,
+            "cols": layout.grid.cols,
+            "window_um": layout.grid.window_um,
+        },
+        "file_size_mb": layout.file_size_mb,
+        "metadata": layout.metadata,
+        "layers": [
+            {
+                "name": layer.name,
+                "trench_depth": layer.trench_depth,
+                "density": layer.density.tolist(),
+                "slack": layer.slack.tolist(),
+                "wire_perimeter": layer.wire_perimeter.tolist(),
+                "wire_width": layer.wire_width.tolist(),
+            }
+            for layer in layout.layers
+        ],
+    }
+
+
+def layout_from_dict(data: dict) -> Layout:
+    """Inverse of :func:`layout_to_dict`."""
+    version = data.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported layout format version: {version!r}")
+    g = data["grid"]
+    grid = WindowGrid(g["rows"], g["cols"], g["window_um"])
+    layers = [
+        LayerWindows(
+            name=ld["name"],
+            density=np.asarray(ld["density"], dtype=float),
+            slack=np.asarray(ld["slack"], dtype=float),
+            wire_perimeter=np.asarray(ld["wire_perimeter"], dtype=float),
+            wire_width=np.asarray(ld["wire_width"], dtype=float),
+            trench_depth=float(ld["trench_depth"]),
+        )
+        for ld in data["layers"]
+    ]
+    return Layout(
+        data["name"], grid, layers,
+        file_size_mb=float(data.get("file_size_mb", 1.0)),
+        metadata=dict(data.get("metadata", {})),
+    )
+
+
+def save_layout(layout: Layout, path: str | Path) -> None:
+    """Write a layout to ``path`` as JSON."""
+    path = Path(path)
+    path.write_text(json.dumps(layout_to_dict(layout)))
+
+
+def load_layout(path: str | Path) -> Layout:
+    """Read a layout previously written by :func:`save_layout`."""
+    return layout_from_dict(json.loads(Path(path).read_text()))

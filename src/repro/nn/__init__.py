@@ -1,0 +1,64 @@
+"""Neural-network substrate: numpy autodiff, layers, UNet, optimizers."""
+
+from . import functional
+from .conv import avg_pool2d, conv2d, conv_transpose2d, max_pool2d, upsample2x
+from .init import kaiming_normal, xavier_uniform
+from .loss import l1_loss, mse_loss, relative_l2_loss
+from .modules import (
+    BatchNorm2d,
+    GroupNorm,
+    Conv2d,
+    ConvTranspose2d,
+    LeakyReLU,
+    Linear,
+    MaxPool2d,
+    Module,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Tanh,
+    Upsample2x,
+)
+from .optim import SGD, Adam, CosineLR, LrScheduler, Optimizer, StepLR, clip_grad_norm
+from .serial import load_module, save_module
+from .tensor import Tensor
+from .unet import DoubleConv, UNet
+
+__all__ = [
+    "Adam",
+    "BatchNorm2d",
+    "Conv2d",
+    "ConvTranspose2d",
+    "CosineLR",
+    "GroupNorm",
+    "DoubleConv",
+    "LeakyReLU",
+    "Linear",
+    "LrScheduler",
+    "MaxPool2d",
+    "Module",
+    "Optimizer",
+    "ReLU",
+    "SGD",
+    "Sequential",
+    "StepLR",
+    "Sigmoid",
+    "Tanh",
+    "Tensor",
+    "UNet",
+    "Upsample2x",
+    "avg_pool2d",
+    "clip_grad_norm",
+    "conv2d",
+    "conv_transpose2d",
+    "functional",
+    "kaiming_normal",
+    "l1_loss",
+    "load_module",
+    "max_pool2d",
+    "mse_loss",
+    "relative_l2_loss",
+    "save_module",
+    "upsample2x",
+    "xavier_uniform",
+]

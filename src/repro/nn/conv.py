@@ -1,0 +1,182 @@
+"""Convolution, pooling and upsampling with autodiff (NCHW layout).
+
+Forward passes use :func:`numpy.lib.stride_tricks.sliding_window_view`
+plus ``einsum`` (an im2col formulation without materialising the column
+matrix); backward passes are the standard scatter/gather adjoints.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from .tensor import Array, Tensor
+
+
+def _check_4d(x: Tensor, name: str) -> None:
+    if x.ndim != 4:
+        raise ValueError(f"{name} must be 4-D (B, C, H, W), got shape {x.shape}")
+
+
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Tensor | None = None,
+    stride: int = 1,
+    padding: int = 0,
+) -> Tensor:
+    """2-D cross-correlation: ``x (B,C,H,W) * weight (O,C,kh,kw)``."""
+    _check_4d(x, "x")
+    if weight.ndim != 4:
+        raise ValueError(f"weight must be 4-D (O, C, kh, kw), got {weight.shape}")
+    B, C, H, W = x.shape
+    O, Cw, kh, kw = weight.shape
+    if Cw != C:
+        raise ValueError(f"channel mismatch: input {C}, weight expects {Cw}")
+    if H + 2 * padding < kh or W + 2 * padding < kw:
+        raise ValueError("kernel larger than padded input")
+
+    xp = np.pad(x.data, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    windows = sliding_window_view(xp, (kh, kw), axis=(2, 3))[:, :, ::stride, ::stride]
+    out_data = np.einsum("bchwij,ocij->bohw", windows, weight.data, optimize=True)
+    if bias is not None:
+        out_data = out_data + bias.data[None, :, None, None]
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+    out = Tensor(out_data, _parents=parents)
+    Ho, Wo = out_data.shape[2:]
+
+    def backward(grad: Array) -> None:
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(grad.sum(axis=(0, 2, 3)))
+        if weight.requires_grad:
+            weight._accumulate(
+                np.einsum("bohw,bchwij->ocij", grad, windows, optimize=True)
+            )
+        if x.requires_grad:
+            gxp = np.zeros_like(xp)
+            for i in range(kh):
+                for j in range(kw):
+                    contribution = np.einsum(
+                        "bohw,oc->bchw", grad, weight.data[:, :, i, j], optimize=True
+                    )
+                    gxp[:, :, i : i + Ho * stride : stride,
+                        j : j + Wo * stride : stride] += contribution
+            if padding:
+                gxp = gxp[:, :, padding:-padding or None, padding:-padding or None]
+            x._accumulate(gxp)
+
+    out._backward = backward
+    return out
+
+
+def conv_transpose2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Tensor | None = None,
+    stride: int = 2,
+) -> Tensor:
+    """Transposed convolution (a.k.a. up-convolution).
+
+    ``x (B,C,H,W)``, ``weight (C,O,kh,kw)`` — torch's ConvTranspose2d
+    convention — producing ``(B, O, (H-1)*stride + kh, ...)``.
+    """
+    _check_4d(x, "x")
+    B, C, H, W = x.shape
+    Cw, O, kh, kw = weight.shape
+    if Cw != C:
+        raise ValueError(f"channel mismatch: input {C}, weight expects {Cw}")
+
+    Ho = (H - 1) * stride + kh
+    Wo = (W - 1) * stride + kw
+    out_data = np.zeros((B, O, Ho, Wo))
+    for i in range(kh):
+        for j in range(kw):
+            out_data[:, :, i : i + (H - 1) * stride + 1 : stride,
+                     j : j + (W - 1) * stride + 1 : stride] += np.einsum(
+                "bchw,co->bohw", x.data, weight.data[:, :, i, j], optimize=True
+            )
+    if bias is not None:
+        out_data += bias.data[None, :, None, None]
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+    out = Tensor(out_data, _parents=parents)
+
+    def backward(grad: Array) -> None:
+        gwin = sliding_window_view(grad, (kh, kw), axis=(2, 3))[:, :, ::stride, ::stride]
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(grad.sum(axis=(0, 2, 3)))
+        if weight.requires_grad:
+            weight._accumulate(
+                np.einsum("bchw,bohwij->coij", x.data, gwin, optimize=True)
+            )
+        if x.requires_grad:
+            x._accumulate(np.einsum("bohwij,coij->bchw", gwin, weight.data, optimize=True))
+
+    out._backward = backward
+    return out
+
+
+def max_pool2d(x: Tensor, kernel: int = 2, stride: int | None = None) -> Tensor:
+    """Max pooling; input H, W must be divisible by the kernel when
+    ``stride == kernel`` (the only mode the UNet uses)."""
+    _check_4d(x, "x")
+    stride = kernel if stride is None else stride
+    B, C, H, W = x.shape
+    windows = sliding_window_view(x.data, (kernel, kernel), axis=(2, 3))[
+        :, :, ::stride, ::stride
+    ]
+    Ho, Wo = windows.shape[2], windows.shape[3]
+    flat = windows.reshape(B, C, Ho, Wo, kernel * kernel)
+    arg = flat.argmax(axis=-1)
+    out = Tensor(np.take_along_axis(flat, arg[..., None], axis=-1)[..., 0],
+                 _parents=(x,))
+
+    def backward(grad: Array) -> None:
+        if not x.requires_grad:
+            return
+        gx = np.zeros_like(x.data)
+        bi, ci, hi, wi = np.ogrid[:B, :C, :Ho, :Wo]
+        rows = hi * stride + arg // kernel
+        cols = wi * stride + arg % kernel
+        np.add.at(gx, (bi, ci, rows, cols), grad)
+        x._accumulate(gx)
+
+    out._backward = backward
+    return out
+
+
+def upsample2x(x: Tensor) -> Tensor:
+    """Nearest-neighbour 2x upsampling (UNet decoder path)."""
+    _check_4d(x, "x")
+    out = Tensor(x.data.repeat(2, axis=2).repeat(2, axis=3), _parents=(x,))
+    B, C, H, W = x.shape
+
+    def backward(grad: Array) -> None:
+        if x.requires_grad:
+            x._accumulate(grad.reshape(B, C, H, 2, W, 2).sum(axis=(3, 5)))
+
+    out._backward = backward
+    return out
+
+
+def avg_pool2d(x: Tensor, kernel: int = 2) -> Tensor:
+    """Non-overlapping average pooling."""
+    _check_4d(x, "x")
+    B, C, H, W = x.shape
+    if H % kernel or W % kernel:
+        raise ValueError(f"H, W must be divisible by {kernel}, got {H}x{W}")
+    Ho, Wo = H // kernel, W // kernel
+    out = Tensor(
+        x.data.reshape(B, C, Ho, kernel, Wo, kernel).mean(axis=(3, 5)),
+        _parents=(x,),
+    )
+    scale = 1.0 / (kernel * kernel)
+
+    def backward(grad: Array) -> None:
+        if x.requires_grad:
+            g = np.repeat(np.repeat(grad, kernel, axis=2), kernel, axis=3) * scale
+            x._accumulate(g)
+
+    out._backward = backward
+    return out

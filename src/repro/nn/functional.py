@@ -1,0 +1,167 @@
+"""Functional ops on :class:`~repro.nn.tensor.Tensor`.
+
+These mirror the torch functions the paper names in Eq. 10 — ``VAR``,
+``SUM``, ``ABS``, ``MEAN``, ``ONES``, ``SIGMOID`` — plus the activations
+and tensor surgery (concat, pad) the UNet needs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Array, Tensor
+
+
+def relu(x: Tensor) -> Tensor:
+    out = Tensor(np.maximum(x.data, 0.0), _parents=(x,))
+    mask = x.data > 0
+
+    def backward(grad: Array) -> None:
+        if x.requires_grad:
+            x._accumulate(grad * mask)
+
+    out._backward = backward
+    return out
+
+
+def leaky_relu(x: Tensor, negative_slope: float = 0.01) -> Tensor:
+    scale = np.where(x.data > 0, 1.0, negative_slope)
+    out = Tensor(x.data * scale, _parents=(x,))
+
+    def backward(grad: Array) -> None:
+        if x.requires_grad:
+            x._accumulate(grad * scale)
+
+    out._backward = backward
+    return out
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    value = 1.0 / (1.0 + np.exp(-np.clip(x.data, -60.0, 60.0)))
+    out = Tensor(value, _parents=(x,))
+
+    def backward(grad: Array) -> None:
+        if x.requires_grad:
+            x._accumulate(grad * value * (1.0 - value))
+
+    out._backward = backward
+    return out
+
+
+def tanh(x: Tensor) -> Tensor:
+    value = np.tanh(x.data)
+    out = Tensor(value, _parents=(x,))
+
+    def backward(grad: Array) -> None:
+        if x.requires_grad:
+            x._accumulate(grad * (1.0 - value**2))
+
+    out._backward = backward
+    return out
+
+
+def softplus(x: Tensor, beta: float = 1.0) -> Tensor:
+    """Numerically stable ``log(1 + exp(beta x)) / beta``."""
+    z = beta * x.data
+    value = np.where(z > 30, z, np.log1p(np.exp(np.minimum(z, 30)))) / beta
+    out = Tensor(value, _parents=(x,))
+    sig = 1.0 / (1.0 + np.exp(-np.clip(z, -60.0, 60.0)))
+
+    def backward(grad: Array) -> None:
+        if x.requires_grad:
+            x._accumulate(grad * sig)
+
+    out._backward = backward
+    return out
+
+
+def maximum(x: Tensor, other) -> Tensor:
+    """Elementwise max; ties route the gradient to ``x`` (subgradient)."""
+    other = Tensor._lift(other)
+    out = Tensor(np.maximum(x.data, other.data), _parents=(x, other))
+    take_x = x.data >= other.data
+
+    def backward(grad: Array) -> None:
+        if x.requires_grad:
+            x._accumulate(grad * take_x)
+        if other.requires_grad:
+            other._accumulate(grad * ~take_x)
+
+    out._backward = backward
+    return out
+
+
+def minimum(x: Tensor, other) -> Tensor:
+    other = Tensor._lift(other)
+    out = Tensor(np.minimum(x.data, other.data), _parents=(x, other))
+    take_x = x.data <= other.data
+
+    def backward(grad: Array) -> None:
+        if x.requires_grad:
+            x._accumulate(grad * take_x)
+        if other.requires_grad:
+            other._accumulate(grad * ~take_x)
+
+    out._backward = backward
+    return out
+
+
+def clip(x: Tensor, lo: float, hi: float) -> Tensor:
+    """Clamp with pass-through gradient inside the interval."""
+    out = Tensor(np.clip(x.data, lo, hi), _parents=(x,))
+    inside = (x.data >= lo) & (x.data <= hi)
+
+    def backward(grad: Array) -> None:
+        if x.requires_grad:
+            x._accumulate(grad * inside)
+
+    out._backward = backward
+    return out
+
+
+def concat(tensors: list[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate along ``axis`` (the UNet skip-connection join)."""
+    if not tensors:
+        raise ValueError("concat of an empty list")
+    out = Tensor(
+        np.concatenate([t.data for t in tensors], axis=axis), _parents=tuple(tensors)
+    )
+    sizes = [t.data.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad: Array) -> None:
+        for t, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            if t.requires_grad:
+                index = [slice(None)] * grad.ndim
+                index[axis] = slice(start, stop)
+                t._accumulate(grad[tuple(index)])
+
+    out._backward = backward
+    return out
+
+
+def pad2d(x: Tensor, pad: tuple[int, int, int, int]) -> Tensor:
+    """Zero-pad the last two dims by ``(top, bottom, left, right)``."""
+    top, bottom, left, right = pad
+    if min(pad) < 0:
+        raise ValueError(f"negative padding: {pad}")
+    widths = [(0, 0)] * (x.ndim - 2) + [(top, bottom), (left, right)]
+    out = Tensor(np.pad(x.data, widths), _parents=(x,))
+    h, w = x.data.shape[-2:]
+
+    def backward(grad: Array) -> None:
+        if x.requires_grad:
+            x._accumulate(grad[..., top : top + h, left : left + w])
+
+    out._backward = backward
+    return out
+
+
+def mean_over(x: Tensor, axis, keepdims: bool = False) -> Tensor:
+    """Alias for :meth:`Tensor.mean` (parity with the paper's MEAN)."""
+    return x.mean(axis=axis, keepdims=keepdims)
+
+
+def ones(shape) -> Tensor:
+    """Constant ones tensor (the paper's ONES helper)."""
+    return Tensor(np.ones(shape))

@@ -1,0 +1,26 @@
+"""Weight initialisation schemes."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import rng_from_seed
+
+
+def kaiming_normal(shape: tuple[int, ...], fan_in: int,
+                   rng: np.random.Generator | int | None = None) -> np.ndarray:
+    """He initialisation for ReLU networks: ``N(0, sqrt(2 / fan_in))``."""
+    if fan_in <= 0:
+        raise ValueError(f"fan_in must be positive, got {fan_in}")
+    rng = rng_from_seed(rng)
+    return rng.normal(0.0, np.sqrt(2.0 / fan_in), size=shape)
+
+
+def xavier_uniform(shape: tuple[int, ...], fan_in: int, fan_out: int,
+                   rng: np.random.Generator | int | None = None) -> np.ndarray:
+    """Glorot uniform initialisation."""
+    if fan_in <= 0 or fan_out <= 0:
+        raise ValueError("fans must be positive")
+    rng = rng_from_seed(rng)
+    bound = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)

@@ -1,0 +1,281 @@
+"""Layer/module system: a compact torch.nn equivalent.
+
+Modules own parameter tensors and optional numpy buffers (running
+statistics).  Parameter discovery walks attributes recursively, so plain
+attribute assignment (``self.conv = Conv2d(...)``) and lists of modules
+both work without explicit registration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import functional as F
+from .conv import conv2d, conv_transpose2d, max_pool2d, upsample2x
+from .init import kaiming_normal
+from .tensor import Tensor
+
+
+class Module:
+    """Base class: parameter traversal, train/eval mode, state dict."""
+
+    def __init__(self):
+        self.training = True
+
+    # -- forward ---------------------------------------------------------
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    # -- traversal -------------------------------------------------------
+    def _children(self):
+        for name, value in vars(self).items():
+            if isinstance(value, Module):
+                yield name, value
+            elif isinstance(value, (list, tuple)):
+                for k, item in enumerate(value):
+                    if isinstance(item, Module):
+                        yield f"{name}.{k}", item
+
+    def named_parameters(self, prefix: str = ""):
+        """Yield ``(dotted_name, Tensor)`` for every parameter."""
+        for name, value in vars(self).items():
+            if isinstance(value, Tensor) and value.requires_grad:
+                yield (f"{prefix}{name}", value)
+        for name, child in self._children():
+            yield from child.named_parameters(prefix=f"{prefix}{name}.")
+
+    def parameters(self) -> list[Tensor]:
+        return [p for _, p in self.named_parameters()]
+
+    def named_buffers(self, prefix: str = ""):
+        """Yield ``(dotted_name, ndarray)`` for every registered buffer."""
+        for name in getattr(self, "_buffer_names", ()):
+            yield (f"{prefix}{name}", getattr(self, name))
+        for name, child in self._children():
+            yield from child.named_buffers(prefix=f"{prefix}{name}.")
+
+    def register_buffer(self, name: str, value: np.ndarray) -> None:
+        setattr(self, name, value)
+        names = list(getattr(self, "_buffer_names", ()))
+        if name not in names:
+            names.append(name)
+        self._buffer_names = tuple(names)
+
+    # -- modes -----------------------------------------------------------
+    def train(self) -> "Module":
+        self.training = True
+        for _, child in self._children():
+            child.train()
+        return self
+
+    def eval(self) -> "Module":
+        self.training = False
+        for _, child in self._children():
+            child.eval()
+        return self
+
+    # -- state -----------------------------------------------------------
+    def state_dict(self) -> dict[str, np.ndarray]:
+        state = {name: p.data.copy() for name, p in self.named_parameters()}
+        state.update({f"buffer:{n}": b.copy() for n, b in self.named_buffers()})
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        params = dict(self.named_parameters())
+        buffers = dict(self.named_buffers())
+        expected = set(params) | {f"buffer:{n}" for n in buffers}
+        if set(state) != expected:
+            missing = expected - set(state)
+            extra = set(state) - expected
+            raise KeyError(f"state dict mismatch: missing={sorted(missing)} extra={sorted(extra)}")
+        for name, p in params.items():
+            if p.data.shape != state[name].shape:
+                raise ValueError(f"shape mismatch for {name}")
+            p.data = state[name].astype(np.float64).copy()
+        for name, buf in buffers.items():
+            buf[...] = state[f"buffer:{name}"]
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+
+class Conv2d(Module):
+    """2-D convolution layer with He-initialised weights."""
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int,
+                 stride: int = 1, padding: int = 0, bias: bool = True,
+                 rng=None):
+        super().__init__()
+        fan_in = in_channels * kernel_size * kernel_size
+        self.weight = Tensor(
+            kaiming_normal((out_channels, in_channels, kernel_size, kernel_size),
+                           fan_in, rng),
+            requires_grad=True,
+        )
+        self.bias = Tensor(np.zeros(out_channels), requires_grad=True) if bias else None
+        self.stride = stride
+        self.padding = padding
+
+    def forward(self, x: Tensor) -> Tensor:
+        return conv2d(x, self.weight, self.bias, stride=self.stride,
+                      padding=self.padding)
+
+
+class ConvTranspose2d(Module):
+    """Transposed convolution (stride-2 up-convolution by default)."""
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int = 2,
+                 stride: int = 2, bias: bool = True, rng=None):
+        super().__init__()
+        fan_in = in_channels * kernel_size * kernel_size
+        self.weight = Tensor(
+            kaiming_normal((in_channels, out_channels, kernel_size, kernel_size),
+                           fan_in, rng),
+            requires_grad=True,
+        )
+        self.bias = Tensor(np.zeros(out_channels), requires_grad=True) if bias else None
+        self.stride = stride
+
+    def forward(self, x: Tensor) -> Tensor:
+        return conv_transpose2d(x, self.weight, self.bias, stride=self.stride)
+
+
+class Linear(Module):
+    def __init__(self, in_features: int, out_features: int, bias: bool = True, rng=None):
+        super().__init__()
+        self.weight = Tensor(
+            kaiming_normal((in_features, out_features), in_features, rng),
+            requires_grad=True,
+        )
+        self.bias = Tensor(np.zeros(out_features), requires_grad=True) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class BatchNorm2d(Module):
+    """Batch normalisation over (B, H, W) per channel with running stats."""
+
+    def __init__(self, num_features: int, eps: float = 1e-5, momentum: float = 0.1):
+        super().__init__()
+        self.gamma = Tensor(np.ones(num_features), requires_grad=True)
+        self.beta = Tensor(np.zeros(num_features), requires_grad=True)
+        self.eps = eps
+        self.momentum = momentum
+        self.register_buffer("running_mean", np.zeros(num_features))
+        self.register_buffer("running_var", np.ones(num_features))
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim != 4:
+            raise ValueError(f"BatchNorm2d expects 4-D input, got {x.shape}")
+        if self.training:
+            mean = x.mean(axis=(0, 2, 3), keepdims=True)
+            var = x.var(axis=(0, 2, 3), keepdims=True)
+            m = self.momentum
+            self.running_mean[...] = (1 - m) * self.running_mean + m * mean.data.ravel()
+            self.running_var[...] = (1 - m) * self.running_var + m * var.data.ravel()
+        else:
+            mean = Tensor(self.running_mean.reshape(1, -1, 1, 1))
+            var = Tensor(self.running_var.reshape(1, -1, 1, 1))
+        xn = (x - mean) / ((var + self.eps) ** 0.5)
+        return xn * self.gamma.reshape(1, -1, 1, 1) + self.beta.reshape(1, -1, 1, 1)
+
+
+class GroupNorm(Module):
+    """Group normalisation (Wu & He 2018): batch-size independent.
+
+    Preferable to BatchNorm when the surrogate is evaluated one layout at
+    a time inside an optimizer — statistics never depend on what else is
+    in the batch, so train and inference behaviour coincide exactly.
+    """
+
+    def __init__(self, num_groups: int, num_channels: int, eps: float = 1e-5):
+        super().__init__()
+        if num_channels % num_groups:
+            raise ValueError(
+                f"{num_channels} channels not divisible by {num_groups} groups"
+            )
+        self.num_groups = num_groups
+        self.num_channels = num_channels
+        self.eps = eps
+        self.gamma = Tensor(np.ones(num_channels), requires_grad=True)
+        self.beta = Tensor(np.zeros(num_channels), requires_grad=True)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim != 4:
+            raise ValueError(f"GroupNorm expects 4-D input, got {x.shape}")
+        B, C, H, W = x.shape
+        if C != self.num_channels:
+            raise ValueError(f"expected {self.num_channels} channels, got {C}")
+        g = self.num_groups
+        grouped = x.reshape(B, g, C // g, H, W)
+        mean = grouped.mean(axis=(2, 3, 4), keepdims=True)
+        var = grouped.var(axis=(2, 3, 4), keepdims=True)
+        normed = (grouped - mean) / ((var + self.eps) ** 0.5)
+        out = normed.reshape(B, C, H, W)
+        return out * self.gamma.reshape(1, -1, 1, 1) + self.beta.reshape(1, -1, 1, 1)
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return F.relu(x)
+
+
+class LeakyReLU(Module):
+    def __init__(self, negative_slope: float = 0.01):
+        super().__init__()
+        self.negative_slope = negative_slope
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.leaky_relu(x, self.negative_slope)
+
+
+class Sigmoid(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return F.sigmoid(x)
+
+
+class Tanh(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return F.tanh(x)
+
+
+class MaxPool2d(Module):
+    def __init__(self, kernel: int = 2):
+        super().__init__()
+        self.kernel = kernel
+
+    def forward(self, x: Tensor) -> Tensor:
+        return max_pool2d(x, self.kernel)
+
+
+class Upsample2x(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return upsample2x(x)
+
+
+class Sequential(Module):
+    def __init__(self, *layers: Module):
+        super().__init__()
+        self.layers = list(layers)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __getitem__(self, idx: int) -> Module:
+        return self.layers[idx]

@@ -1,0 +1,26 @@
+"""Checkpointing: save/load module state dicts as ``.npz`` archives."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from .modules import Module
+
+
+def save_module(module: Module, path: str | Path) -> None:
+    """Write all parameters and buffers of ``module`` to ``path``."""
+    path = Path(path)
+    state = module.state_dict()
+    # npz keys cannot be empty; dots and colons are fine.
+    np.savez(path, **state)
+
+
+def load_module(module: Module, path: str | Path) -> Module:
+    """Restore ``module`` in place from :func:`save_module` output."""
+    path = Path(path)
+    with np.load(path if path.suffix else path.with_suffix(".npz")) as archive:
+        state = {k: archive[k] for k in archive.files}
+    module.load_state_dict(state)
+    return module

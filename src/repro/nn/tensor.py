@@ -1,0 +1,361 @@
+"""Reverse-mode automatic differentiation on numpy arrays.
+
+This is the reproduction's stand-in for PyTorch's autograd: the paper's
+central move is to express the CMP model as a network so that gradients
+come from *backward propagation* (Eqs. 7-9) instead of thousands of
+finite-difference simulator calls.  :class:`Tensor` records the compute
+graph during the forward pass; :meth:`Tensor.backward` walks it once in
+reverse topological order, giving the exact gradient at roughly the cost
+of one extra forward pass.
+
+Only the ops the CMP network needs are implemented, but they are
+implemented generally (full numpy broadcasting, arbitrary shapes).
+Convolution and pooling live in :mod:`repro.nn.conv`; additional
+activations and reductions in :mod:`repro.nn.functional`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+Array = np.ndarray
+
+
+def _unbroadcast(grad: Array, shape: tuple[int, ...]) -> Array:
+    """Reduce ``grad`` back to ``shape`` by summing broadcast dimensions."""
+    if grad.shape == shape:
+        return grad
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    for axis, size in enumerate(shape):
+        if size == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad
+
+
+def _as_array(value) -> Array:
+    arr = np.asarray(value, dtype=np.float64)
+    return arr
+
+
+class Tensor:
+    """A numpy array with an optional gradient and autodiff history.
+
+    Attributes:
+        data: the underlying ``float64`` numpy array.
+        grad: accumulated gradient (same shape as ``data``) after
+            :meth:`backward`, else ``None``.
+        requires_grad: whether this tensor participates in autodiff.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents")
+
+    def __init__(
+        self,
+        data,
+        requires_grad: bool = False,
+        _parents: Sequence["Tensor"] = (),
+        _backward: Callable[[Array], None] | None = None,
+    ):
+        self.data = _as_array(data)
+        self.grad: Array | None = None
+        self.requires_grad = bool(requires_grad) or any(
+            p.requires_grad for p in _parents
+        )
+        self._parents = tuple(_parents)
+        self._backward = _backward
+
+    # ------------------------------------------------------------------
+    # basic protocol
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def numpy(self) -> Array:
+        """The raw array (shared, do not mutate)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data)
+
+    def detach(self) -> "Tensor":
+        """A new tensor sharing data but cut off from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def __repr__(self) -> str:
+        flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}{flag})"
+
+    # ------------------------------------------------------------------
+    # graph construction helpers
+    # ------------------------------------------------------------------
+    def _accumulate(self, grad: Array) -> None:
+        grad = _unbroadcast(grad, self.data.shape)
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad = self.grad + grad
+
+    @staticmethod
+    def _lift(value) -> "Tensor":
+        return value if isinstance(value, Tensor) else Tensor(value)
+
+    # ------------------------------------------------------------------
+    # arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other) -> "Tensor":
+        other = self._lift(other)
+        out = Tensor(self.data + other.data, _parents=(self, other))
+
+        def backward(grad: Array) -> None:
+            if self.requires_grad:
+                self._accumulate(grad)
+            if other.requires_grad:
+                other._accumulate(grad)
+
+        out._backward = backward
+        return out
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        out = Tensor(-self.data, _parents=(self,))
+
+        def backward(grad: Array) -> None:
+            if self.requires_grad:
+                self._accumulate(-grad)
+
+        out._backward = backward
+        return out
+
+    def __sub__(self, other) -> "Tensor":
+        return self + (-self._lift(other))
+
+    def __rsub__(self, other) -> "Tensor":
+        return self._lift(other) + (-self)
+
+    def __mul__(self, other) -> "Tensor":
+        other = self._lift(other)
+        out = Tensor(self.data * other.data, _parents=(self, other))
+
+        def backward(grad: Array) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * other.data)
+            if other.requires_grad:
+                other._accumulate(grad * self.data)
+
+        out._backward = backward
+        return out
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "Tensor":
+        other = self._lift(other)
+        out = Tensor(self.data / other.data, _parents=(self, other))
+
+        def backward(grad: Array) -> None:
+            if self.requires_grad:
+                self._accumulate(grad / other.data)
+            if other.requires_grad:
+                other._accumulate(-grad * self.data / (other.data**2))
+
+        out._backward = backward
+        return out
+
+    def __rtruediv__(self, other) -> "Tensor":
+        return self._lift(other) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not np.isscalar(exponent):
+            raise TypeError("only scalar exponents are supported")
+        out = Tensor(self.data**exponent, _parents=(self,))
+
+        def backward(grad: Array) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * exponent * self.data ** (exponent - 1))
+
+        out._backward = backward
+        return out
+
+    def __matmul__(self, other) -> "Tensor":
+        other = self._lift(other)
+        if self.ndim < 2 or other.ndim < 2:
+            raise ValueError("matmul requires tensors with ndim >= 2")
+        out = Tensor(self.data @ other.data, _parents=(self, other))
+
+        def backward(grad: Array) -> None:
+            if self.requires_grad:
+                self._accumulate(
+                    _unbroadcast(grad @ np.swapaxes(other.data, -1, -2), self.shape)
+                )
+            if other.requires_grad:
+                other._accumulate(
+                    _unbroadcast(np.swapaxes(self.data, -1, -2) @ grad, other.shape)
+                )
+
+        out._backward = backward
+        return out
+
+    # ------------------------------------------------------------------
+    # shape ops
+    # ------------------------------------------------------------------
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        out = Tensor(self.data.reshape(shape), _parents=(self,))
+
+        def backward(grad: Array) -> None:
+            if self.requires_grad:
+                self._accumulate(grad.reshape(self.data.shape))
+
+        out._backward = backward
+        return out
+
+    def transpose(self, *axes) -> "Tensor":
+        if not axes:
+            axes = tuple(reversed(range(self.ndim)))
+        elif len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        out = Tensor(self.data.transpose(axes), _parents=(self,))
+        inverse = np.argsort(axes)
+
+        def backward(grad: Array) -> None:
+            if self.requires_grad:
+                self._accumulate(grad.transpose(inverse))
+
+        out._backward = backward
+        return out
+
+    def __getitem__(self, key) -> "Tensor":
+        out = Tensor(self.data[key], _parents=(self,))
+
+        def backward(grad: Array) -> None:
+            if self.requires_grad:
+                full = np.zeros_like(self.data)
+                np.add.at(full, key, grad)
+                self._accumulate(full)
+
+        out._backward = backward
+        return out
+
+    # ------------------------------------------------------------------
+    # reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out = Tensor(self.data.sum(axis=axis, keepdims=keepdims), _parents=(self,))
+
+        def backward(grad: Array) -> None:
+            if not self.requires_grad:
+                return
+            g = np.asarray(grad)
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis=axis)
+            self._accumulate(np.broadcast_to(g, self.data.shape))
+
+        out._backward = backward
+        return out
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        else:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            count = int(np.prod([self.data.shape[a] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def var(self, axis=None, keepdims: bool = False) -> "Tensor":
+        """Population variance (ddof=0), differentiable."""
+        centred = self - self.mean(axis=axis, keepdims=True)
+        return (centred * centred).mean(axis=axis, keepdims=keepdims)
+
+    # ------------------------------------------------------------------
+    # elementwise nonlinearities (core set; more in functional.py)
+    # ------------------------------------------------------------------
+    def abs(self) -> "Tensor":
+        out = Tensor(np.abs(self.data), _parents=(self,))
+
+        def backward(grad: Array) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * np.sign(self.data))
+
+        out._backward = backward
+        return out
+
+    def exp(self) -> "Tensor":
+        value = np.exp(self.data)
+        out = Tensor(value, _parents=(self,))
+
+        def backward(grad: Array) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * value)
+
+        out._backward = backward
+        return out
+
+    def log(self) -> "Tensor":
+        out = Tensor(np.log(self.data), _parents=(self,))
+
+        def backward(grad: Array) -> None:
+            if self.requires_grad:
+                self._accumulate(grad / self.data)
+
+        out._backward = backward
+        return out
+
+    def sqrt(self) -> "Tensor":
+        return self**0.5
+
+    # ------------------------------------------------------------------
+    # backward pass
+    # ------------------------------------------------------------------
+    def backward(self, grad: Array | None = None) -> None:
+        """Backpropagate from this tensor through the recorded graph.
+
+        Args:
+            grad: upstream gradient; defaults to ones (i.e. ``d self /
+                d self = 1``), the usual choice for scalar losses.
+        """
+        if not self.requires_grad:
+            raise RuntimeError("called backward() on a tensor that does not require grad")
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited and parent.requires_grad:
+                    stack.append((parent, False))
+
+        seed = np.ones_like(self.data) if grad is None else _as_array(grad)
+        if seed.shape != self.data.shape:
+            raise ValueError(f"grad shape {seed.shape} != tensor shape {self.data.shape}")
+        self._accumulate(seed)
+        for node in reversed(topo):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+
+
+def parameters_of(tensors: Iterable[Tensor]) -> list[Tensor]:
+    """Filter an iterable down to tensors that require gradients."""
+    return [t for t in tensors if t.requires_grad]

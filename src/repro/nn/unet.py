@@ -1,0 +1,137 @@
+"""UNet (Ronneberger et al. [20]) — the paper's CMP surrogate backbone.
+
+A down-sampling path captures multi-window context (the pad's
+planarization neighbourhood), the up-sampling path restores per-window
+resolution, and skip connections keep local pattern detail — the same
+encoder/decoder sketch as the paper's Fig. 4.
+
+Input sizes need not be multiples of ``2**depth``; the forward pass
+zero-pads to the next multiple and crops the output back (the paper
+instead fixes the input at 100x100 windows and tiles smaller layouts —
+:func:`repro.layout.assembly.tile_to_size` provides that behaviour when
+exact parity is wanted).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import rng_from_seed
+from . import functional as F
+from .conv import max_pool2d, upsample2x
+from .modules import BatchNorm2d, Conv2d, Module, ReLU, Sequential
+from .tensor import Tensor
+
+
+class DoubleConv(Module):
+    """(conv3x3 -> BN -> ReLU) x 2, the standard UNet block."""
+
+    def __init__(self, in_channels: int, out_channels: int, rng=None,
+                 batch_norm: bool = True):
+        super().__init__()
+        def block(cin: int, cout: int) -> list[Module]:
+            layers: list[Module] = [Conv2d(cin, cout, 3, padding=1, rng=rng)]
+            if batch_norm:
+                layers.append(BatchNorm2d(cout))
+            layers.append(ReLU())
+            return layers
+
+        self.body = Sequential(*block(in_channels, out_channels),
+                               *block(out_channels, out_channels))
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.body(x)
+
+
+class UNet(Module):
+    """Configurable-depth UNet mapping layout parameters to a height map.
+
+    Args:
+        in_channels: number of layout parameter planes (matrix **L**).
+        out_channels: output planes (1: the height profile ``H_n``).
+        base_channels: channels of the first encoder block; each deeper
+            level doubles it.
+        depth: number of down/up-sampling stages.
+        rng: seed or generator for weight init (deterministic if given).
+        batch_norm: include BatchNorm2d in conv blocks.
+        up_mode: decoder upsampling — ``"upsample"`` (nearest-neighbour +
+            3x3 conv, artefact-free default) or ``"transpose"`` (stride-2
+            transposed convolution, the original Ronneberger
+            up-convolution).
+    """
+
+    def __init__(self, in_channels: int, out_channels: int = 1,
+                 base_channels: int = 8, depth: int = 2, rng=None,
+                 batch_norm: bool = True, up_mode: str = "upsample"):
+        super().__init__()
+        if depth < 1:
+            raise ValueError(f"depth must be >= 1, got {depth}")
+        if up_mode not in ("upsample", "transpose"):
+            raise ValueError(f"unknown up_mode {up_mode!r}")
+        rng = rng_from_seed(rng)
+        self.depth = depth
+        self.up_mode = up_mode
+
+        chans = [base_channels * (2**i) for i in range(depth + 1)]
+        self.encoders = [
+            DoubleConv(in_channels if i == 0 else chans[i - 1], chans[i],
+                       rng=rng, batch_norm=batch_norm)
+            for i in range(depth)
+        ]
+        self.bottleneck = DoubleConv(chans[depth - 1], chans[depth],
+                                     rng=rng, batch_norm=batch_norm)
+        # Decoder: upsample, reduce channels, concat skip, double conv.
+        if up_mode == "transpose":
+            from .modules import ConvTranspose2d
+            self.up_convs = [
+                ConvTranspose2d(chans[i + 1], chans[i], kernel_size=2,
+                                stride=2, rng=rng)
+                for i in reversed(range(depth))
+            ]
+        else:
+            self.up_convs = [
+                Conv2d(chans[i + 1], chans[i], 3, padding=1, rng=rng)
+                for i in reversed(range(depth))
+            ]
+        self.decoders = [
+            DoubleConv(2 * chans[i], chans[i], rng=rng, batch_norm=batch_norm)
+            for i in reversed(range(depth))
+        ]
+        self.head = Conv2d(chans[0], out_channels, 1, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim != 4:
+            raise ValueError(f"UNet expects (B, C, H, W), got {x.shape}")
+        B, C, H, W = x.shape
+        multiple = 2**self.depth
+        pad_h = (-H) % multiple
+        pad_w = (-W) % multiple
+        if pad_h or pad_w:
+            x = F.pad2d(x, (0, pad_h, 0, pad_w))
+
+        skips = []
+        for encoder in self.encoders:
+            x = encoder(x)
+            skips.append(x)
+            x = max_pool2d(x, 2)
+        x = self.bottleneck(x)
+        for up_conv, decoder, skip in zip(self.up_convs, self.decoders,
+                                          reversed(skips)):
+            if self.up_mode == "transpose":
+                x = up_conv(x)
+            else:
+                x = up_conv(upsample2x(x))
+            x = decoder(F.concat([skip, x], axis=1))
+        x = self.head(x)
+
+        if pad_h or pad_w:
+            x = x[:, :, :H, :W]
+        return x
+
+    def receptive_field(self) -> int:
+        """Approximate receptive field in windows (for locality checks)."""
+        # Each DoubleConv adds 4 to the field at its scale; scales stack.
+        field = 4
+        for i in range(self.depth):
+            field = field * 2 + 8
+        return field

@@ -1,0 +1,22 @@
+"""Optimization substrate: box QP, SQP, NMMSO, multi-start helpers."""
+
+from .boxqp import BoxQpResult, solve_box_qp
+from .linesearch import projected_armijo
+from .multistart import best_result, random_starting_points, refine_starting_points
+from .nmmso import LocalOptimum, Nmmso, NmmsoResult
+from .sqp import SqpOptimizer, SqpResult, projected_gradient_norm
+
+__all__ = [
+    "BoxQpResult",
+    "LocalOptimum",
+    "Nmmso",
+    "NmmsoResult",
+    "SqpOptimizer",
+    "SqpResult",
+    "best_result",
+    "projected_armijo",
+    "projected_gradient_norm",
+    "random_starting_points",
+    "refine_starting_points",
+    "solve_box_qp",
+]

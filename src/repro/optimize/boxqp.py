@@ -1,0 +1,122 @@
+"""Dense box-constrained quadratic programming (the SQP subproblem).
+
+Solves
+
+.. math:: \\min_d \\; \\tfrac12 d^T B d + g^T d
+          \\quad \\text{s.t.} \\quad lo \\le d \\le hi
+
+with a primal active-set method: repeatedly solve the equality-constrained
+reduced system on the free variables, take the longest feasible step along
+the resulting direction, and release bound constraints whose KKT
+multipliers have the wrong sign.  Intended for the *dense, small* QP
+subproblems (tests, toy layouts); the production SQP path uses a
+limited-memory formulation instead (see :mod:`repro.optimize.sqp`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class BoxQpResult:
+    x: np.ndarray
+    value: float
+    iterations: int
+    converged: bool
+
+
+def _objective(B: np.ndarray, g: np.ndarray, d: np.ndarray) -> float:
+    return float(0.5 * d @ B @ d + g @ d)
+
+
+def solve_box_qp(
+    B: np.ndarray,
+    g: np.ndarray,
+    lower: np.ndarray,
+    upper: np.ndarray,
+    x0: np.ndarray | None = None,
+    max_iter: int = 200,
+    tol: float = 1e-10,
+) -> BoxQpResult:
+    """Minimise a convex box-constrained quadratic.
+
+    Args:
+        B: symmetric positive-(semi)definite ``(n, n)`` Hessian.  A small
+            diagonal shift is applied if the reduced systems are singular.
+        g: linear term, shape ``(n,)``.
+        lower / upper: elementwise bounds (must satisfy ``lower <= upper``).
+        x0: feasible start (clipped if necessary); default is the clipped
+            unconstrained stationary point heuristic ``clip(0)``.
+        max_iter: outer active-set iterations.
+        tol: KKT tolerance.
+
+    Returns:
+        :class:`BoxQpResult` with the minimiser and objective value.
+    """
+    n = g.shape[0]
+    if B.shape != (n, n):
+        raise ValueError(f"B shape {B.shape} incompatible with g ({n},)")
+    if np.any(lower > upper):
+        raise ValueError("lower bound exceeds upper bound")
+    x = np.clip(np.zeros(n) if x0 is None else x0, lower, upper).astype(float)
+
+    # Working set: -1 fixed at lower, +1 fixed at upper, 0 free.
+    working = np.zeros(n, dtype=int)
+    working[x <= lower + 1e-14] = -1
+    working[x >= upper - 1e-14] = +1
+    working[np.isclose(lower, upper)] = -1  # degenerate: permanently fixed
+
+    for it in range(1, max_iter + 1):
+        grad = B @ x + g
+        free = working == 0
+
+        step_free = np.zeros(0)
+        if np.any(free):
+            Bff = B[np.ix_(free, free)]
+            try:
+                step_free = np.linalg.solve(
+                    Bff + 1e-12 * np.eye(Bff.shape[0]), -grad[free]
+                )
+            except np.linalg.LinAlgError:
+                step_free = -grad[free]
+
+        if step_free.size == 0 or np.linalg.norm(step_free, ord=np.inf) <= tol:
+            # Minimiser on the current working set: check multipliers.
+            # At lower the multiplier is grad_i (needs >= 0); at upper it
+            # is -grad_i (needs >= 0, i.e. grad_i <= 0).
+            violation = np.where(
+                working == -1, -grad, np.where(working == +1, grad, 0.0)
+            )
+            violation[np.isclose(lower, upper)] = 0.0
+            worst = int(np.argmax(violation))
+            if violation[worst] <= tol:
+                return BoxQpResult(x, _objective(B, g, x), it, True)
+            working[worst] = 0  # release and continue
+            continue
+
+        direction = np.zeros(n)
+        direction[free] = step_free
+
+        # Longest feasible step along the direction; record the blocker.
+        alpha = 1.0
+        blocker = -1
+        blocker_side = 0
+        pos = np.where(direction > 0)[0]
+        neg = np.where(direction < 0)[0]
+        for idx in pos:
+            a = (upper[idx] - x[idx]) / direction[idx]
+            if a < alpha:
+                alpha, blocker, blocker_side = a, idx, +1
+        for idx in neg:
+            a = (lower[idx] - x[idx]) / direction[idx]
+            if a < alpha:
+                alpha, blocker, blocker_side = a, idx, -1
+        alpha = max(alpha, 0.0)
+        x = np.clip(x + alpha * direction, lower, upper)
+        if blocker >= 0:
+            working[blocker] = blocker_side
+
+    return BoxQpResult(x, _objective(B, g, x), max_iter, False)

@@ -1,0 +1,64 @@
+"""Backtracking Armijo line search along a projected path."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+
+def projected_armijo(
+    objective: Callable[[np.ndarray], float],
+    x: np.ndarray,
+    direction: np.ndarray,
+    f0: float,
+    g0: np.ndarray,
+    lower: np.ndarray,
+    upper: np.ndarray,
+    alpha0: float = 1.0,
+    c1: float = 1e-4,
+    shrink: float = 0.5,
+    max_steps: int = 25,
+) -> tuple[np.ndarray, float, float, int]:
+    """Armijo backtracking on the projected arc ``P(x + a d)``.
+
+    ``objective`` is *minimised*.  The sufficient-decrease test uses the
+    actual projected displacement, which is the standard adaptation of
+    Armijo to bound constraints (Bertsekas' projection arc).
+
+    Args:
+        objective: scalar function to minimise.
+        x: current iterate (feasible).
+        direction: search direction (descent for the unconstrained model).
+        f0: objective at ``x``.
+        g0: gradient at ``x``.
+        lower/upper: box bounds.
+        alpha0: initial trial step.
+        c1: sufficient-decrease constant.
+        shrink: backtracking factor in (0, 1).
+        max_steps: maximum halvings.
+
+    Returns:
+        ``(x_new, f_new, alpha, n_evals)``.  If no step satisfies the
+        test, the best trial seen is returned (possibly ``x`` itself).
+    """
+    if not 0 < shrink < 1:
+        raise ValueError(f"shrink must be in (0, 1), got {shrink}")
+    alpha = alpha0
+    best = (x, f0, 0.0)
+    evals = 0
+    for _ in range(max_steps):
+        trial = np.clip(x + alpha * direction, lower, upper)
+        displacement = trial - x
+        if not np.any(displacement):
+            alpha *= shrink
+            continue
+        f_trial = objective(trial)
+        evals += 1
+        if f_trial < best[1]:
+            best = (trial, f_trial, alpha)
+        # Armijo with projected displacement.
+        if f_trial <= f0 + c1 * float(g0.ravel() @ displacement.ravel()):
+            return trial, f_trial, alpha, evals
+        alpha *= shrink
+    return best[0], best[1], best[2], evals

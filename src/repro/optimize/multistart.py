@@ -1,0 +1,42 @@
+"""Multi-start utilities shared by the MSP-SQP framework."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import rng_from_seed
+from .sqp import SqpOptimizer, SqpResult, ValueAndGrad
+
+
+def random_starting_points(
+    lower: np.ndarray,
+    upper: np.ndarray,
+    count: int,
+    seed: int | np.random.Generator | None = 0,
+) -> list[np.ndarray]:
+    """Uniform random feasible points in the box."""
+    if count <= 0:
+        raise ValueError("count must be positive")
+    rng = rng_from_seed(seed)
+    return [lower + rng.random(lower.shape) * (upper - lower) for _ in range(count)]
+
+
+def refine_starting_points(
+    fun: ValueAndGrad,
+    starts: list[np.ndarray],
+    lower: np.ndarray,
+    upper: np.ndarray,
+    optimizer: SqpOptimizer | None = None,
+) -> list[SqpResult]:
+    """Run SQP from every start; results keep the input order."""
+    if not starts:
+        raise ValueError("no starting points supplied")
+    optimizer = optimizer or SqpOptimizer()
+    return [optimizer.maximize(fun, s, lower, upper) for s in starts]
+
+
+def best_result(results: list[SqpResult]) -> SqpResult:
+    """Highest-value result of a multi-start batch."""
+    if not results:
+        raise ValueError("empty result list")
+    return max(results, key=lambda r: r.value)

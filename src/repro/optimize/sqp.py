@@ -1,0 +1,238 @@
+"""SQP solver for box-constrained maximisation (Boggs & Tolle [19]).
+
+The filling problem (Eq. 5) has only simple bounds ``0 <= x <= s``, so
+each SQP iteration's quadratic subproblem
+
+.. math:: \\max_d \\; g^T d - \\tfrac12 d^T B d \\quad
+          \\text{s.t.} \\; lo \\le x + d \\le hi
+
+can be solved in one of two ways, both provided here:
+
+* ``hessian="dense"`` — maintain a dense damped-BFGS approximation and
+  solve the subproblem exactly with the active-set box-QP solver.  Exact
+  but O(n^2) memory; right for small problems and for validating the
+  limited-memory path.
+* ``hessian="lbfgs"`` (default) — limited-memory BFGS two-loop direction
+  with bound projection (the subproblem solution collapses to a projected
+  quasi-Newton step).  Scales to the thousands of windows of a full chip.
+
+A projected-Armijo line search globalises both variants.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from .boxqp import solve_box_qp
+from .linesearch import projected_armijo
+
+#: Signature: x -> (value, gradient); the solver MAXIMISES value.
+ValueAndGrad = Callable[[np.ndarray], tuple[float, np.ndarray]]
+
+
+@dataclass
+class SqpResult:
+    """Outcome of one SQP run."""
+
+    x: np.ndarray
+    value: float
+    iterations: int
+    evaluations: int
+    converged: bool
+    history: list[float] = field(default_factory=list)
+
+
+def projected_gradient_norm(x: np.ndarray, grad: np.ndarray,
+                            lower: np.ndarray, upper: np.ndarray) -> float:
+    """Infinity norm of the projected (ascent) gradient — the first-order
+    optimality measure for bound-constrained maximisation."""
+    step = np.clip(x + grad, lower, upper) - x
+    return float(np.max(np.abs(step))) if step.size else 0.0
+
+
+class SqpOptimizer:
+    """Box-constrained SQP maximiser.
+
+    Args:
+        max_iter: maximum major iterations.
+        tol: projected-gradient convergence tolerance (in the units of
+            ``x``; fills are um^2, so ~1e-3 is tight).
+        memory: number of (s, y) pairs for the L-BFGS variant.
+        hessian: ``"lbfgs"`` (scalable, default) or ``"dense"`` (exact
+            subproblem via active-set box QP).
+        step_scale: initial line-search step.
+        max_step_fraction: caps the first trial displacement of every line
+            search at this fraction of the box span, so an SQP refinement
+            stays inside the basin of its starting point (essential for
+            the MSP framework: each start must converge to *its* local
+            optimum, not hop to a neighbouring one).
+    """
+
+    def __init__(self, max_iter: int = 60, tol: float = 1e-3,
+                 memory: int = 10, hessian: str = "lbfgs",
+                 step_scale: float = 1.0, max_step_fraction: float = 0.15):
+        if hessian not in ("lbfgs", "dense"):
+            raise ValueError(f"unknown hessian mode {hessian!r}")
+        if max_iter <= 0:
+            raise ValueError("max_iter must be positive")
+        self.max_iter = max_iter
+        self.tol = tol
+        self.memory = memory
+        self.hessian = hessian
+        self.step_scale = step_scale
+        self.max_step_fraction = max_step_fraction
+
+    # ------------------------------------------------------------------
+    def maximize(self, fun: ValueAndGrad, x0: np.ndarray,
+                 lower: np.ndarray, upper: np.ndarray,
+                 fun_value: Callable[[np.ndarray], float] | None = None) -> SqpResult:
+        """Run SQP from ``x0`` (clipped into the box if needed).
+
+        Args:
+            fun: value-and-gradient oracle (maximised).
+            x0: starting point.
+            lower / upper: box bounds (broadcastable to ``x0``).
+            fun_value: optional cheap value-only oracle used inside the
+                line search.  Essential when the gradient is expensive
+                (finite differences through a simulator) and a useful
+                saving when backpropagation costs as much as a forward
+                pass.  Defaults to calling ``fun`` and discarding the
+                gradient.
+        """
+        lower = np.broadcast_to(lower, x0.shape).astype(float)
+        upper = np.broadcast_to(upper, x0.shape).astype(float)
+        if np.any(lower > upper):
+            raise ValueError("infeasible box: lower > upper")
+        shape = x0.shape
+        x = np.clip(x0, lower, upper).ravel().copy()
+        lo, hi = lower.ravel(), upper.ravel()
+
+        evals = 0
+
+        def eval_at(z: np.ndarray) -> tuple[float, np.ndarray]:
+            nonlocal evals
+            evals += 1
+            value, grad = fun(z.reshape(shape))
+            return float(value), np.asarray(grad, dtype=float).ravel()
+
+        def value_at(z: np.ndarray) -> float:
+            nonlocal evals
+            evals += 1
+            if fun_value is None:
+                return float(fun(z.reshape(shape))[0])
+            return float(fun_value(z.reshape(shape)))
+
+        f, g = eval_at(x)
+        history = [f]
+        n = x.size
+        memory: deque[tuple[np.ndarray, np.ndarray]] = deque(maxlen=self.memory)
+        B = np.eye(n) if self.hessian == "dense" else None
+        have_curvature = False
+
+        converged = False
+        iteration = 0
+        for iteration in range(1, self.max_iter + 1):
+            if projected_gradient_norm(x, g, lo, hi) <= self.tol:
+                converged = True
+                break
+
+            if self.hessian == "dense":
+                qp = solve_box_qp(B, -g, lo - x, hi - x)
+                direction = qp.x
+            else:
+                direction = self._lbfgs_direction(g, memory)
+                # Zero components pushing into an active bound.
+                at_lo = (x <= lo + 1e-14) & (direction < 0)
+                at_hi = (x >= hi - 1e-14) & (direction > 0)
+                direction[at_lo | at_hi] = 0.0
+            if not np.any(direction):
+                converged = True
+                break
+
+            # Scale the first trial displacement to a fixed fraction of
+            # the box span while no curvature information exists (a raw
+            # score gradient can be ~1e-7 in um^2 units, or huge — either
+            # way its magnitude is meaningless as a step).  Once (s, y)
+            # pairs are in, the quasi-Newton direction is well-sized and
+            # only the upper cap remains, keeping refinement basin-local.
+            span = np.max(hi - lo)
+            dir_norm = float(np.max(np.abs(direction)))
+            alpha0 = self.step_scale
+            if span > 0 and dir_norm > 0:
+                natural = self.max_step_fraction * span / dir_norm
+                alpha0 = natural if not have_curvature else min(alpha0, natural)
+
+            # Line search minimises -f along the projected arc.
+            x_new, _, _, _ = projected_armijo(
+                objective=lambda z: -value_at(z),
+                x=x, direction=direction, f0=-f, g0=-g,
+                lower=lo, upper=hi, alpha0=alpha0,
+            )
+            # value_at already counted inside the closure.
+            if not np.any(x_new != x):
+                converged = True
+                break
+            f_new, g_new = eval_at(x_new)
+
+            s = x_new - x
+            y = g_new - g  # gradient of f (ascent); curvature uses -y
+            sy = float(s @ -y)
+            if sy > 1e-12:
+                have_curvature = True
+                if self.hessian == "dense":
+                    B = self._bfgs_update(B, s, -y)
+                else:
+                    memory.append((s, -y))
+            x, f, g = x_new, f_new, g_new
+            history.append(f)
+
+        return SqpResult(
+            x=x.reshape(shape), value=f, iterations=iteration,
+            evaluations=evals, converged=converged, history=history,
+        )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _lbfgs_direction(g: np.ndarray,
+                         memory: deque[tuple[np.ndarray, np.ndarray]]) -> np.ndarray:
+        """Two-loop recursion: ascent direction ``H * g`` for maximisation.
+
+        Memory pairs are ``(s, y)`` of the *minimisation* problem
+        (``y = -(g_{k+1} - g_k)``), so the recursion is the textbook one.
+        """
+        q = g.copy()
+        if not memory:
+            return q
+        alphas = []
+        rhos = []
+        for s, y in reversed(memory):
+            rho = 1.0 / float(y @ s)
+            alpha = rho * float(s @ q)
+            q -= alpha * y
+            alphas.append(alpha)
+            rhos.append(rho)
+        s_last, y_last = memory[-1]
+        gamma = float(s_last @ y_last) / float(y_last @ y_last)
+        q *= gamma
+        for (s, y), alpha, rho in zip(memory, reversed(alphas), reversed(rhos)):
+            beta = rho * float(y @ q)
+            q += (alpha - beta) * s
+        return q
+
+    @staticmethod
+    def _bfgs_update(B: np.ndarray, s: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Damped BFGS (Powell) update keeping B positive definite."""
+        Bs = B @ s
+        sBs = float(s @ Bs)
+        sy = float(s @ y)
+        if sy < 0.2 * sBs:
+            theta = 0.8 * sBs / (sBs - sy)
+            y = theta * y + (1 - theta) * Bs
+            sy = float(s @ y)
+        if sy <= 1e-14 or sBs <= 1e-14:
+            return B
+        return B - np.outer(Bs, Bs) / sBs + np.outer(y, y) / sy

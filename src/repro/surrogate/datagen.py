@@ -1,0 +1,115 @@
+"""Training-set construction for the UNet surrogate (paper Fig. 8 + Eq. 20).
+
+Pipeline per sample: two-step random layout (window re-assembly + random
+legal fill) -> extraction-layer feature planes -> full-chip CMP simulation
+-> normalised height label.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..cmp.simulator import CmpSimulator
+from ..config import rng_from_seed
+from ..layout.assembly import generate_training_layouts
+from ..layout.layout import Layout
+from .extraction import ExtractionConstants, extract_parameter_matrix_numpy
+from .network import HeightNormalizer
+
+
+@dataclass
+class SurrogateDataset:
+    """Arrays ready for UNet training.
+
+    Attributes:
+        inputs: ``(n, L, C, N, M)`` feature planes per sample and layer.
+        targets: ``(n, L, 1, N, M)`` normalised simulator heights.
+        normalizer: the affine height normalisation used for ``targets``.
+    """
+
+    inputs: np.ndarray
+    targets: np.ndarray
+    normalizer: HeightNormalizer
+
+    def __post_init__(self) -> None:
+        if self.inputs.shape[0] != self.targets.shape[0]:
+            raise ValueError("inputs/targets sample count mismatch")
+
+    def __len__(self) -> int:
+        return self.inputs.shape[0]
+
+    def flat_inputs(self) -> np.ndarray:
+        """Merge (sample, layer) into one batch axis: ``(n*L, C, N, M)``."""
+        n, L = self.inputs.shape[:2]
+        return self.inputs.reshape(n * L, *self.inputs.shape[2:])
+
+    def flat_targets(self) -> np.ndarray:
+        n, L = self.targets.shape[:2]
+        return self.targets.reshape(n * L, *self.targets.shape[2:])
+
+    def split(self, test_fraction: float = 0.2,
+              seed: int | None = 0) -> tuple["SurrogateDataset", "SurrogateDataset"]:
+        """Random train/test split sharing the normalizer."""
+        if not 0.0 < test_fraction < 1.0:
+            raise ValueError(f"test_fraction must be in (0, 1), got {test_fraction}")
+        n = len(self)
+        rng = rng_from_seed(seed)
+        order = rng.permutation(n)
+        n_test = max(1, int(round(n * test_fraction)))
+        test_idx, train_idx = order[:n_test], order[n_test:]
+        if train_idx.size == 0:
+            raise ValueError("split left no training samples")
+        make = lambda idx: SurrogateDataset(
+            self.inputs[idx], self.targets[idx], self.normalizer
+        )
+        return make(train_idx), make(test_idx)
+
+
+def simulate_sample(layout: Layout, fill: np.ndarray,
+                    simulator: CmpSimulator) -> tuple[np.ndarray, np.ndarray]:
+    """One (features, physical heights) pair for an assembled layout."""
+    consts = ExtractionConstants.from_layout(layout)
+    features = extract_parameter_matrix_numpy(fill, consts)
+    heights = simulator.simulate_layout(layout, fill).height
+    return features, heights
+
+
+def build_dataset(
+    sources: list[Layout],
+    count: int,
+    rows: int,
+    cols: int,
+    simulator: CmpSimulator | None = None,
+    seed: int = 0,
+    normalizer: HeightNormalizer | None = None,
+) -> SurrogateDataset:
+    """Generate ``count`` labelled samples via the two-step procedure.
+
+    Args:
+        sources: layouts whose windows seed the assembly pool (the paper
+            uses its three designs).
+        count: number of assembled layouts.
+        rows / cols: network input size in windows (paper: 100x100).
+        simulator: teacher simulator (default calibration if omitted).
+        seed: RNG seed for assembly and fills.
+        normalizer: reuse an existing normalisation (e.g. the training
+            set's) instead of fitting one — required for a comparable
+            test/extension set.
+    """
+    if count <= 0:
+        raise ValueError(f"count must be positive, got {count}")
+    simulator = simulator or CmpSimulator()
+    pairs = generate_training_layouts(sources, count, rows, cols, seed=seed)
+    feats, heights = [], []
+    for layout, fill in pairs:
+        f, h = simulate_sample(layout, fill, simulator)
+        feats.append(f)
+        heights.append(h)
+    inputs = np.stack(feats)  # (n, L, C, N, M)
+    raw = np.stack(heights)  # (n, L, N, M)
+    if normalizer is None:
+        normalizer = HeightNormalizer.fit(raw)
+    targets = normalizer.normalize(raw)[:, :, None, :, :]
+    return SurrogateDataset(inputs=inputs, targets=targets, normalizer=normalizer)

@@ -1,0 +1,127 @@
+"""CMP neural network: extraction layer + pre-trained UNet + objective layers.
+
+This is the paper's Fig. 4 pipeline.  Forward propagation maps a fill
+vector ``x`` to the planarity score ``S_plan``; backward propagation
+returns ``dS_plan/dx`` through the chain rule of Eq. 11 — the paper's
+8134x-speedup replacement for finite differences through the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..layout.layout import Layout
+from ..nn.modules import Module
+from ..nn.tensor import Tensor
+from .extraction import ExtractionConstants, extract_parameter_matrix
+from .objectives import (
+    DEFAULT_ETA,
+    PlanarityBreakdown,
+    PlanarityWeights,
+    planarity_score,
+)
+
+
+@dataclass(frozen=True)
+class HeightNormalizer:
+    """Affine map between physical heights (Angstrom) and network outputs."""
+
+    mean: float
+    std: float
+
+    def __post_init__(self) -> None:
+        if self.std <= 0:
+            raise ValueError(f"std must be positive, got {self.std}")
+
+    def normalize(self, heights: np.ndarray) -> np.ndarray:
+        return (heights - self.mean) / self.std
+
+    def denormalize_array(self, values: np.ndarray) -> np.ndarray:
+        return values * self.std + self.mean
+
+    def denormalize(self, values: Tensor) -> Tensor:
+        return values * self.std + self.mean
+
+    def to_dict(self) -> dict:
+        return {"mean": self.mean, "std": self.std}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "HeightNormalizer":
+        return cls(mean=float(data["mean"]), std=float(data["std"]))
+
+    @classmethod
+    def fit(cls, heights: np.ndarray) -> "HeightNormalizer":
+        std = float(heights.std())
+        return cls(mean=float(heights.mean()), std=std if std > 0 else 1.0)
+
+
+@dataclass
+class PlanarityEvaluation:
+    """Result of one forward (+ optional backward) pass."""
+
+    s_plan: float
+    breakdown: PlanarityBreakdown
+    heights: np.ndarray  # (L, N, M) predicted physical heights
+    gradient: np.ndarray | None  # dS_plan/dx, same shape as the fill
+
+
+class CmpNeuralNetwork:
+    """End-to-end differentiable stand-in for the full-chip CMP simulator.
+
+    Args:
+        layout: the target layout (fixes the extraction constants).
+        unet: a pre-trained height-prediction network mapping the
+            ``(L, C, N, M)`` parameter matrix to normalised heights
+            ``(L, 1, N, M)``.
+        normalizer: the affine height normalisation the UNet was trained
+            with.
+        eta: sigmoid gain of the smoothed outlier objective (Eq. 10c).
+
+    The UNet is switched to ``eval`` mode: optimisation-time forward
+    passes must use frozen batch statistics.
+    """
+
+    def __init__(self, layout: Layout, unet: Module,
+                 normalizer: HeightNormalizer, eta: float = DEFAULT_ETA):
+        self.layout = layout
+        self.unet = unet.eval()
+        self.normalizer = normalizer
+        self.eta = eta
+        self.consts = ExtractionConstants.from_layout(layout)
+
+    # ------------------------------------------------------------------
+    def predict_heights(self, fill: np.ndarray | None = None) -> np.ndarray:
+        """Forward-only height profile prediction (physical units)."""
+        if fill is None:
+            fill = np.zeros(self.layout.shape)
+        return self._forward(Tensor(fill)).data
+
+    def evaluate(self, fill: np.ndarray, weights: PlanarityWeights,
+                 want_grad: bool = True) -> PlanarityEvaluation:
+        """Planarity score (forward) and its gradient (backward).
+
+        Args:
+            fill: fill areas, shape ``(L, N, M)``.
+            weights: the design's score coefficients (Table II subset).
+            want_grad: run backpropagation and return ``dS_plan/dx``.
+        """
+        x = Tensor(np.asarray(fill, dtype=float), requires_grad=want_grad)
+        heights = self._forward(x)
+        s_plan, breakdown = planarity_score(heights, weights, eta=self.eta)
+        gradient = None
+        if want_grad:
+            s_plan.backward()
+            gradient = x.grad if x.grad is not None else np.zeros_like(x.data)
+        return PlanarityEvaluation(
+            s_plan=s_plan.item(), breakdown=breakdown,
+            heights=heights.data, gradient=gradient,
+        )
+
+    # ------------------------------------------------------------------
+    def _forward(self, fill: Tensor) -> Tensor:
+        matrix = extract_parameter_matrix(fill, self.consts)
+        out = self.unet(matrix)  # (L, 1, N, M) normalised
+        L, _, N, M = out.shape
+        return self.normalizer.denormalize(out.reshape(L, N, M))

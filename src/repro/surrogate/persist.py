@@ -1,0 +1,55 @@
+"""Persistence for pre-trained CMP surrogates (UNet + normalizer + arch)."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..layout.layout import Layout
+from ..nn.serial import load_module, save_module
+from ..nn.unet import UNet
+from .extraction import NUM_FEATURE_CHANNELS
+from .network import CmpNeuralNetwork, HeightNormalizer
+
+
+def save_surrogate(directory: str | Path, unet: UNet,
+                   normalizer: HeightNormalizer,
+                   base_channels: int, depth: int,
+                   batch_norm: bool = True) -> Path:
+    """Write UNet weights + metadata into ``directory``.
+
+    Returns the directory path.  Layout binding is *not* stored — a saved
+    surrogate can be re-bound to any layout of the same process.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    save_module(unet, directory / "unet.npz")
+    meta = {
+        "normalizer": normalizer.to_dict(),
+        "arch": {
+            "in_channels": NUM_FEATURE_CHANNELS,
+            "base_channels": base_channels,
+            "depth": depth,
+            "batch_norm": batch_norm,
+        },
+    }
+    (directory / "surrogate.json").write_text(json.dumps(meta, indent=2))
+    return directory
+
+
+def load_surrogate(directory: str | Path,
+                   layout: Layout) -> CmpNeuralNetwork:
+    """Rebuild a saved surrogate and bind it to ``layout``."""
+    directory = Path(directory)
+    meta = json.loads((directory / "surrogate.json").read_text())
+    arch = meta["arch"]
+    unet = UNet(
+        in_channels=int(arch["in_channels"]), out_channels=1,
+        base_channels=int(arch["base_channels"]), depth=int(arch["depth"]),
+        batch_norm=bool(arch.get("batch_norm", True)), rng=0,
+    )
+    load_module(unet, directory / "unet.npz")
+    normalizer = HeightNormalizer.from_dict(meta["normalizer"])
+    return CmpNeuralNetwork(layout, unet, normalizer)

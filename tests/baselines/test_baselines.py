@@ -1,0 +1,113 @@
+"""Tests for the Lin, Tao and Cai baseline fillers."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import SimulatorQuality, cai_fill, lin_fill, tao_fill
+from repro.core import FillProblem, ScoreCoefficients, evaluate_solution
+from repro.layout import make_design_a
+
+
+@pytest.fixture(scope="module")
+def tiny_problem(simulator):
+    layout = make_design_a(rows=6, cols=6)
+    coeffs = ScoreCoefficients.calibrated(layout, simulator)
+    return FillProblem(layout, coeffs)
+
+
+class TestLin:
+    def test_fill_feasible(self, tiny_problem):
+        result = lin_fill(tiny_problem)
+        assert tiny_problem.feasible(result.fill, atol=1e-6)
+        assert result.method == "lin"
+        assert result.fill.sum() > 0
+
+    def test_improves_density_uniformity(self, tiny_problem):
+        layout = tiny_problem.layout
+        area = layout.grid.window_area
+        rho0 = layout.density_stack()
+        result = lin_fill(tiny_problem)
+        rho1 = rho0 + result.fill / area
+        assert rho1.var() < rho0.var()
+
+    def test_quantile_controls_fill(self, tiny_problem):
+        low = lin_fill(tiny_problem, quantile=0.3)
+        high = lin_fill(tiny_problem, quantile=0.95)
+        assert high.fill.sum() > low.fill.sum()
+
+    def test_bad_quantile(self, tiny_problem):
+        with pytest.raises(ValueError):
+            lin_fill(tiny_problem, quantile=0.0)
+
+    def test_fast(self, tiny_problem):
+        result = lin_fill(tiny_problem)
+        assert result.runtime_s < 5.0
+
+
+class TestTao:
+    def test_fill_feasible(self, tiny_problem):
+        result = tao_fill(tiny_problem)
+        assert tiny_problem.feasible(result.fill, atol=1e-6)
+        assert result.method == "tao"
+        assert result.evaluations > 0
+
+    def test_improves_density_uniformity(self, tiny_problem):
+        layout = tiny_problem.layout
+        area = layout.grid.window_area
+        rho0 = layout.density_stack()
+        result = tao_fill(tiny_problem)
+        rho1 = rho0 + result.fill / area
+        var0 = np.mean([rho0[l].var() for l in range(3)])
+        var1 = np.mean([rho1[l].var() for l in range(3)])
+        assert var1 < var0
+
+    def test_quality_value_finite(self, tiny_problem):
+        result = tao_fill(tiny_problem)
+        assert np.isfinite(result.quality)
+
+
+class TestSimulatorQuality:
+    def test_counts_simulations(self, tiny_problem, simulator):
+        model = SimulatorQuality(tiny_problem, simulator)
+        model.quality(np.zeros(tiny_problem.layout.shape))
+        assert model.simulations == 1
+        model.value_and_numerical_grad(
+            np.zeros(tiny_problem.layout.shape), eps=500.0
+        )
+        # 1 (value) + 1 (FD base) + n probes
+        assert model.simulations == 2 + 1 + tiny_problem.num_variables
+
+    def test_quality_bounded(self, tiny_problem, simulator):
+        model = SimulatorQuality(tiny_problem, simulator)
+        q = model.quality(0.5 * tiny_problem.upper)
+        assert 0.0 <= q <= tiny_problem.coefficients.quality_alpha_total + 1e-9
+
+
+class TestCai:
+    def test_runs_and_improves(self, tiny_problem, simulator):
+        result = cai_fill(tiny_problem, simulator=simulator,
+                          max_sqp_iterations=2, pkb_candidates=5)
+        assert result.method == "cai"
+        assert tiny_problem.feasible(result.fill, atol=1e-6)
+        assert result.quality >= result.extras["pkb_quality"] - 1e-9
+        assert result.evaluations > tiny_problem.num_variables
+
+    def test_beats_nofill_on_simulator(self, tiny_problem, simulator):
+        result = cai_fill(tiny_problem, simulator=simulator,
+                          max_sqp_iterations=2, pkb_candidates=5)
+        filled = evaluate_solution(tiny_problem, result.fill, "cai", simulator)
+        empty = evaluate_solution(
+            tiny_problem, np.zeros(tiny_problem.layout.shape), "none", simulator
+        )
+        assert filled.quality > empty.quality
+
+    def test_iteration_budget_validated(self, tiny_problem, simulator):
+        with pytest.raises(ValueError):
+            cai_fill(tiny_problem, simulator=simulator, max_sqp_iterations=0)
+
+    def test_gradient_costs_dominate(self, tiny_problem, simulator):
+        """The motivating observation: one Cai iteration costs ~n
+        simulations while NeurFill costs one backward pass."""
+        result = cai_fill(tiny_problem, simulator=simulator,
+                          max_sqp_iterations=1, pkb_candidates=3)
+        assert result.extras["simulations"] >= tiny_problem.num_variables

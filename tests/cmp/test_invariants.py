@@ -1,0 +1,109 @@
+"""Cross-cutting physical invariants of the CMP simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cmp import CmpSimulator, DEFAULT_PROCESS
+from repro.layout import LayerWindows, Layout, WindowGrid, make_design_a, make_design_c
+from repro.layout.layout import FeatureStack
+
+
+class TestLayerIndependence:
+    def test_stacked_equals_per_layer(self):
+        """Layers polish independently: simulating the stack at once must
+        equal simulating each layer on its own."""
+        lay = make_design_a(rows=10, cols=10)
+        sim = CmpSimulator()
+        from repro.layout import apply_fill
+        feats = apply_fill(lay, 0.4 * lay.slack_stack())
+        stacked = sim.simulate(feats)
+        for l in range(lay.num_layers):
+            single = FeatureStack(
+                density=feats.density[l : l + 1],
+                perimeter=feats.perimeter[l : l + 1],
+                wire_width=feats.wire_width[l : l + 1],
+                trench_depth=feats.trench_depth[l : l + 1],
+            )
+            res = sim.simulate(single)
+            np.testing.assert_allclose(res.height[0], stacked.height[l],
+                                       rtol=1e-12)
+            np.testing.assert_allclose(res.erosion[0], stacked.erosion[l],
+                                       rtol=1e-12)
+
+    def test_layer_permutation_equivariant(self):
+        lay = make_design_c(rows=8, cols=8)
+        sim = CmpSimulator()
+        from repro.layout import apply_fill
+        feats = apply_fill(lay, None)
+        res = sim.simulate(feats)
+        perm = [2, 0, 1]
+        feats_p = FeatureStack(
+            density=feats.density[perm],
+            perimeter=feats.perimeter[perm],
+            wire_width=feats.wire_width[perm],
+            trench_depth=feats.trench_depth[perm],
+        )
+        res_p = sim.simulate(feats_p)
+        np.testing.assert_allclose(res_p.height, res.height[perm], rtol=1e-12)
+
+
+class TestSymmetry:
+    def test_mirror_layout_mirror_heights(self):
+        """Mirroring the pattern mirrors the post-CMP profile."""
+        lay = make_design_a(rows=10, cols=12)
+        sim = CmpSimulator()
+        res = sim.simulate_layout(lay)
+        mirrored = Layout(
+            "m", lay.grid,
+            [LayerWindows(
+                l.name, l.density[:, ::-1].copy(), l.slack[:, ::-1].copy(),
+                l.wire_perimeter[:, ::-1].copy(), l.wire_width[:, ::-1].copy(),
+                l.trench_depth,
+            ) for l in lay.layers],
+        )
+        res_m = sim.simulate_layout(mirrored)
+        np.testing.assert_allclose(res_m.height, res.height[:, :, ::-1],
+                                   rtol=1e-10)
+
+    @given(rho=st.floats(0.05, 0.85), width=st.floats(0.1, 0.5))
+    @settings(max_examples=15, deadline=None)
+    def test_property_uniform_pattern_uniform_height(self, rho, width):
+        rows = cols = 8
+        grid = WindowGrid(rows, cols)
+        d = np.full((rows, cols), rho)
+        layer = LayerWindows(
+            "M1", d, np.zeros_like(d), 2 * d * grid.window_area / width,
+            np.full_like(d, width), 3000.0,
+        )
+        res = CmpSimulator().simulate_layout(Layout("u", grid, [layer]))
+        assert res.height.std() < 1e-9
+
+
+class TestMonotonicity:
+    @given(rho=st.floats(0.1, 0.6))
+    @settings(max_examples=10, deadline=None)
+    def test_property_denser_region_taller(self, rho):
+        """A denser half finishes taller (less total removal) — the
+        response dummy filling exploits."""
+        rows = cols = 12
+        grid = WindowGrid(rows, cols)
+        d = np.full((rows, cols), rho)
+        d[:, cols // 2:] = rho + 0.25
+        width = 0.2
+        layer = LayerWindows(
+            "M1", d, np.zeros_like(d), 2 * d * grid.window_area / width,
+            np.full_like(d, width), 3000.0,
+        )
+        res = CmpSimulator().simulate_layout(Layout("s", grid, [layer]))
+        h = res.height[0]
+        assert h[:, cols - 1].mean() > h[:, 0].mean()
+
+    def test_longer_polish_lower_height(self):
+        lay = make_design_a(rows=8, cols=8)
+        heights = []
+        for t in (20.0, 40.0, 80.0):
+            sim = CmpSimulator(DEFAULT_PROCESS.scaled(polish_time_s=t))
+            heights.append(sim.simulate_layout(lay).height.mean())
+        assert heights[0] > heights[1] > heights[2]

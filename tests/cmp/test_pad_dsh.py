@@ -1,0 +1,135 @@
+"""Tests for the pad contact-mechanics solver and the DSH removal model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cmp import (
+    DEFAULT_PROCESS,
+    ProcessParams,
+    contact_fraction,
+    removal_rates,
+    solve_pressure,
+)
+
+
+class TestSolvePressure:
+    def test_flat_envelope_uniform_pressure(self):
+        env = np.full((10, 10), 1234.0)
+        p = solve_pressure(env, 100.0, DEFAULT_PROCESS)
+        np.testing.assert_allclose(p, DEFAULT_PROCESS.pressure_psi)
+
+    def test_load_balance(self):
+        rng = np.random.default_rng(0)
+        env = rng.normal(0, 500, size=(20, 20))
+        p = solve_pressure(env, 100.0, DEFAULT_PROCESS)
+        assert p.mean() == pytest.approx(DEFAULT_PROCESS.pressure_psi, rel=1e-6)
+
+    def test_pressure_nonnegative(self):
+        rng = np.random.default_rng(1)
+        env = rng.normal(0, 1e5, size=(15, 15))  # extreme topography
+        p = solve_pressure(env, 100.0, DEFAULT_PROCESS)
+        assert np.all(p >= 0)
+
+    def test_high_spots_draw_more_pressure(self):
+        env = np.zeros((21, 21))
+        env[10, 10] = 2000.0
+        p = solve_pressure(env, 100.0, DEFAULT_PROCESS)
+        assert p[10, 10] > p[0, 0]
+
+    def test_long_wavelength_tilt_ignored(self):
+        """The pad conforms to topography longer than the planarization
+        length, so a gentle full-chip tilt produces near-uniform pressure."""
+        n = 30
+        tilt = np.linspace(0, 300, n)[None, :] * np.ones((n, 1))
+        params = DEFAULT_PROCESS.scaled(planarization_length_um=200.0)
+        p = solve_pressure(tilt, 100.0, params)
+        assert p.std() / p.mean() < 0.01
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError):
+            solve_pressure(np.zeros(5), 100.0, DEFAULT_PROCESS)
+
+    @given(seed=st.integers(0, 100), scale=st.floats(1.0, 5e4))
+    @settings(max_examples=20, deadline=None)
+    def test_property_balance_and_positivity(self, seed, scale):
+        rng = np.random.default_rng(seed)
+        env = rng.normal(0, scale, size=(12, 12))
+        p = solve_pressure(env, 100.0, DEFAULT_PROCESS)
+        assert np.all(p >= 0)
+        assert p.mean() == pytest.approx(DEFAULT_PROCESS.pressure_psi, rel=1e-4)
+
+
+class TestContactFraction:
+    def test_clipping(self):
+        params = ProcessParams(contact_height_a=500.0)
+        s = np.array([-10.0, 0.0, 250.0, 500.0, 5000.0])
+        phi = contact_fraction(s, params)
+        np.testing.assert_allclose(phi, [0.0, 0.0, 0.5, 1.0, 1.0])
+
+
+class TestRemovalRates:
+    def test_blanket_limit_at_zero_step(self):
+        """s = 0: both rates equal the Preston blanket rate."""
+        params = DEFAULT_PROCESS
+        rho = np.array([0.3])
+        up, down = removal_rates(rho, np.array([0.0]), np.array([params.pressure_psi]), params)
+        assert up[0] == pytest.approx(params.blanket_rate)
+        assert down[0] == pytest.approx(params.blanket_rate)
+
+    def test_full_concentration_at_large_step(self):
+        """s >= h_c: all load on up areas, down areas untouched."""
+        params = DEFAULT_PROCESS
+        rho = np.array([0.25])
+        up, down = removal_rates(rho, np.array([1e4]), np.array([params.pressure_psi]), params)
+        assert up[0] == pytest.approx(params.blanket_rate / 0.25)
+        assert down[0] == 0.0
+
+    def test_up_rate_decreases_with_density(self):
+        params = DEFAULT_PROCESS
+        step = np.array([1e4, 1e4])
+        p = np.full(2, params.pressure_psi)
+        up, _ = removal_rates(np.array([0.2, 0.8]), step, p, params)
+        assert up[0] > up[1]
+
+    def test_rates_scale_with_pressure(self):
+        params = DEFAULT_PROCESS
+        rho = np.array([0.5])
+        s = np.array([200.0])
+        up1, down1 = removal_rates(rho, s, np.array([1.0]), params)
+        up2, down2 = removal_rates(rho, s, np.array([2.0]), params)
+        assert up2[0] == pytest.approx(2 * up1[0])
+        assert down2[0] == pytest.approx(2 * down1[0])
+
+    def test_tiny_density_clamped(self):
+        params = DEFAULT_PROCESS
+        up, _ = removal_rates(np.array([0.0]), np.array([1e4]),
+                              np.array([params.pressure_psi]), params)
+        assert np.isfinite(up[0])
+        assert up[0] == pytest.approx(params.blanket_rate / params.min_effective_density)
+
+    @given(
+        rho=st.floats(0.01, 0.99),
+        step=st.floats(0.0, 3000.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_down_never_exceeds_up(self, rho, step):
+        params = DEFAULT_PROCESS
+        up, down = removal_rates(
+            np.array([rho]), np.array([step]), np.array([params.pressure_psi]), params
+        )
+        assert 0.0 <= down[0] <= up[0] + 1e-12
+
+    @given(rho=st.floats(0.05, 0.95))
+    @settings(max_examples=30, deadline=None)
+    def test_property_mass_conservation_envelope(self, rho):
+        """Area-weighted removal never exceeds the blanket rate (the pad
+        can only deliver the applied load)."""
+        params = DEFAULT_PROCESS
+        for s in (0.0, 100.0, 250.0, 499.0, 2000.0):
+            up, down = removal_rates(
+                np.array([rho]), np.array([s]), np.array([params.pressure_psi]), params
+            )
+            weighted = rho * up[0] + (1 - rho) * down[0]
+            assert weighted <= params.blanket_rate * (1 + 1e-9)

@@ -1,0 +1,62 @@
+"""Tests for process parameters and the Preston equation."""
+
+import numpy as np
+import pytest
+
+from repro.cmp import DEFAULT_PROCESS, ProcessParams, preston_rate, removed_amount
+
+
+class TestProcessParams:
+    def test_blanket_rate(self):
+        p = ProcessParams(preston_coefficient=10, pressure_psi=2, velocity_mps=3)
+        assert p.blanket_rate == 60
+
+    def test_num_steps(self):
+        p = ProcessParams(polish_time_s=10, time_step_s=2)
+        assert p.num_steps == 5
+
+    def test_invalid_times_rejected(self):
+        with pytest.raises(ValueError):
+            ProcessParams(polish_time_s=-1)
+        with pytest.raises(ValueError):
+            ProcessParams(polish_time_s=1, time_step_s=2)
+
+    def test_invalid_density_clamp_rejected(self):
+        with pytest.raises(ValueError):
+            ProcessParams(min_effective_density=0.0)
+        with pytest.raises(ValueError):
+            ProcessParams(min_effective_density=1.5)
+
+    def test_invalid_contact_height_rejected(self):
+        with pytest.raises(ValueError):
+            ProcessParams(contact_height_a=0)
+
+    def test_scaled_override(self):
+        p = DEFAULT_PROCESS.scaled(polish_time_s=30.0)
+        assert p.polish_time_s == 30.0
+        assert p.preston_coefficient == DEFAULT_PROCESS.preston_coefficient
+        # Frozen original untouched.
+        assert DEFAULT_PROCESS.polish_time_s != 30.0
+
+
+class TestPreston:
+    def test_rate_linear_in_pressure(self):
+        p = DEFAULT_PROCESS
+        r1 = preston_rate(1.0, p)
+        r2 = preston_rate(2.0, p)
+        assert r2 == pytest.approx(2 * r1)
+
+    def test_rate_array_input(self):
+        p = DEFAULT_PROCESS
+        pres = np.array([1.0, 2.0, 0.0])
+        rates = preston_rate(pres, p)
+        assert rates.shape == (3,)
+        assert rates[2] == 0.0
+
+    def test_removed_amount(self):
+        p = ProcessParams(preston_coefficient=10, pressure_psi=1, velocity_mps=1)
+        assert removed_amount(2.0, 3.0, p) == pytest.approx(60.0)
+
+    def test_negative_interval_rejected(self):
+        with pytest.raises(ValueError):
+            removed_amount(1.0, -1.0, DEFAULT_PROCESS)

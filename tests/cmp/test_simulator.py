@@ -1,0 +1,121 @@
+"""Tests for the time-stepping full-chip CMP simulator."""
+
+import numpy as np
+import pytest
+
+from repro.cmp import CmpSimulator, DEFAULT_PROCESS, effective_density
+from repro.layout import LayerWindows, Layout, WindowGrid, make_design_a
+
+
+def uniform_layout(density=0.4, rows=12, cols=12, width=0.2, depth=3000.0):
+    grid = WindowGrid(rows, cols)
+    d = np.full((rows, cols), density)
+    layer = LayerWindows(
+        "M1", d, np.zeros_like(d), 2 * d * grid.window_area / width,
+        np.full_like(d, width), depth,
+    )
+    return Layout("uniform", grid, [layer])
+
+
+def split_layout(rho_left=0.2, rho_right=0.6, rows=16, cols=16, width=0.2):
+    grid = WindowGrid(rows, cols)
+    d = np.full((rows, cols), rho_left)
+    d[:, cols // 2:] = rho_right
+    layer = LayerWindows(
+        "M1", d, np.zeros_like(d), 2 * d * grid.window_area / width,
+        np.full_like(d, width), 3000.0,
+    )
+    return Layout("split", grid, [layer])
+
+
+class TestEffectiveDensity:
+    def test_gain_formula(self):
+        params = DEFAULT_PROCESS
+        d = np.array([[0.4]])
+        per = np.array([[10000.0]])
+        rho = effective_density(d, per, 1e4, params)
+        expected = 0.4 + 10000.0 * params.deposition_bias_um / 2.0 / 1e4
+        assert rho[0, 0] == pytest.approx(expected)
+
+    def test_clamped(self):
+        params = DEFAULT_PROCESS
+        rho = effective_density(np.array([[0.0]]), np.array([[0.0]]), 1e4, params)
+        assert rho[0, 0] == params.min_effective_density
+        rho = effective_density(np.array([[0.97]]), np.array([[1e6]]), 1e4, params)
+        assert rho[0, 0] == 0.98
+
+
+class TestSimulator:
+    def test_output_shapes(self):
+        lay = make_design_a(rows=10, cols=8)
+        res = CmpSimulator().simulate_layout(lay)
+        assert res.height.shape == (3, 10, 8)
+        assert res.dishing.shape == (3, 10, 8)
+        assert res.erosion.shape == (3, 10, 8)
+        assert res.pressure.shape == (3, 10, 8)
+        assert res.step_height.shape == (3, 10, 8)
+
+    def test_uniform_layout_is_flat(self):
+        res = CmpSimulator().simulate_layout(uniform_layout())
+        h = res.height[0]
+        assert h.max() - h.min() < 1e-6
+
+    def test_step_clears_for_default_polish(self):
+        res = CmpSimulator().simulate_layout(uniform_layout())
+        assert np.all(res.step_height < DEFAULT_PROCESS.contact_height_a)
+
+    def test_short_polish_leaves_step(self):
+        params = DEFAULT_PROCESS.scaled(polish_time_s=2.0)
+        res = CmpSimulator(params).simulate_layout(uniform_layout(density=0.8))
+        assert np.all(res.step_height > 0)
+
+    def test_more_polish_removes_more(self):
+        lay = uniform_layout()
+        short = CmpSimulator(DEFAULT_PROCESS.scaled(polish_time_s=30.0))
+        long = CmpSimulator(DEFAULT_PROCESS.scaled(polish_time_s=60.0))
+        h_short = short.simulate_layout(lay).height.mean()
+        h_long = long.simulate_layout(lay).height.mean()
+        assert h_long < h_short
+
+    def test_density_contrast_creates_topography(self):
+        res = CmpSimulator().simulate_layout(split_layout())
+        h = res.height[0]
+        assert h.max() - h.min() > 10.0
+
+    def test_denser_region_more_erosion(self):
+        res = CmpSimulator().simulate_layout(split_layout())
+        ero = res.erosion[0]
+        cols = ero.shape[1]
+        assert ero[:, cols - 1].mean() > ero[:, 0].mean()
+
+    def test_uniformizing_fill_flattens(self):
+        """The core premise of fill synthesis: density-equalising fill
+        reduces per-layer height variance."""
+        lay = make_design_a(rows=16, cols=16)
+        rho = lay.density_stack()
+        slack = lay.slack_stack()
+        fill = np.clip((0.75 - rho) * lay.grid.window_area, 0, slack)
+        sim = CmpSimulator()
+        before = sim.simulate_layout(lay).height
+        after = sim.simulate_layout(lay, fill).height
+        var_before = np.mean([before[l].var() for l in range(3)])
+        var_after = np.mean([after[l].var() for l in range(3)])
+        assert var_after < var_before
+
+    def test_height_range_property(self):
+        res = CmpSimulator().simulate_layout(split_layout())
+        assert res.height_range == pytest.approx(
+            float(res.height.max() - res.height.min())
+        )
+
+    def test_deterministic(self):
+        lay = make_design_a(rows=8, cols=8)
+        sim = CmpSimulator()
+        a = sim.simulate_layout(lay).height
+        b = sim.simulate_layout(lay).height
+        np.testing.assert_array_equal(a, b)
+
+    def test_fill_validated(self):
+        lay = make_design_a(rows=6, cols=6)
+        with pytest.raises(ValueError):
+            CmpSimulator().simulate_layout(lay, np.full(lay.shape, 1e9))

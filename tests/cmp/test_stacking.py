@@ -1,0 +1,71 @@
+"""Tests for the multilevel stacked-topography simulator mode."""
+
+import numpy as np
+import pytest
+
+from repro.cmp import CmpSimulator, ProcessParams
+from repro.layout import LayerWindows, Layout, WindowGrid, make_design_a
+
+
+def contrast_layout(rows=12, cols=12):
+    """Layer 0 has a density step; upper layers are uniform."""
+    grid = WindowGrid(rows, cols)
+    width = 0.2
+    layers = []
+    for l, base in enumerate((0.2, 0.4, 0.4)):
+        d = np.full((rows, cols), base)
+        if l == 0:
+            d[:, cols // 2:] = 0.65
+        layers.append(LayerWindows(
+            f"M{l+1}", d, np.zeros_like(d),
+            2 * d * grid.window_area / width, np.full_like(d, width), 3000.0,
+        ))
+    return Layout("stack", grid, layers)
+
+
+class TestStackedMode:
+    def test_flag_off_matches_default(self):
+        lay = make_design_a(rows=8, cols=8)
+        a = CmpSimulator(ProcessParams()).simulate_layout(lay)
+        b = CmpSimulator(ProcessParams(stack_topography=False)).simulate_layout(lay)
+        np.testing.assert_array_equal(a.height, b.height)
+
+    def test_uniform_layers_unaffected_by_stacking(self):
+        lay = contrast_layout()
+        # Make layer 0 uniform too -> no residual to propagate.
+        lay.layers[0].density[:, :] = 0.4
+        lay.layers[0].wire_perimeter[:, :] = lay.layers[1].wire_perimeter
+        off = CmpSimulator(ProcessParams(stack_topography=False)).simulate_layout(lay)
+        on = CmpSimulator(ProcessParams(stack_topography=True)).simulate_layout(lay)
+        np.testing.assert_allclose(on.height, off.height, rtol=1e-10)
+
+    def test_lower_layer_topography_propagates_up(self):
+        lay = contrast_layout()
+        off = CmpSimulator(ProcessParams(stack_topography=False)).simulate_layout(lay)
+        on = CmpSimulator(ProcessParams(stack_topography=True)).simulate_layout(lay)
+        # Without stacking the uniform upper layers are dead flat; with
+        # stacking they inherit part of layer 0's step.
+        assert off.height[1].std() < 1e-9
+        assert on.height[1].std() > 1.0
+        # Layer 0 itself is identical in both modes.
+        np.testing.assert_allclose(on.height[0], off.height[0], rtol=1e-12)
+
+    def test_attenuation_controls_coupling(self):
+        lay = contrast_layout()
+        weak = CmpSimulator(ProcessParams(stack_topography=True,
+                                          stacking_attenuation=0.2)).simulate_layout(lay)
+        strong = CmpSimulator(ProcessParams(stack_topography=True,
+                                            stacking_attenuation=0.9)).simulate_layout(lay)
+        assert strong.height[1].std() > weak.height[1].std()
+
+    def test_polish_attenuates_inherited_step(self):
+        """CMP planarises: the inherited step on layer 1 is smaller than
+        the residual layer 0 left behind."""
+        lay = contrast_layout()
+        params = ProcessParams(stack_topography=True, stacking_attenuation=1.0)
+        res = CmpSimulator(params).simulate_layout(lay)
+        assert res.height[1].std() < res.height[0].std()
+
+    def test_invalid_attenuation(self):
+        with pytest.raises(ValueError):
+            ProcessParams(stacking_attenuation=1.5)

@@ -1,0 +1,45 @@
+"""Shared fixtures: a small design with a once-trained CMP surrogate.
+
+Training even a tiny UNet takes seconds, so the surrogate is session-
+scoped and shared by the core / baselines / evaluation test modules.
+"""
+
+import pytest
+
+from repro.cmp import CmpSimulator
+from repro.core import FillProblem, ScoreCoefficients
+from repro.layout import make_design_a
+from repro.surrogate import TrainConfig, pretrain_surrogate
+
+
+@pytest.fixture(scope="session")
+def small_layout():
+    return make_design_a(rows=10, cols=10)
+
+
+@pytest.fixture(scope="session")
+def simulator():
+    return CmpSimulator()
+
+
+@pytest.fixture(scope="session")
+def small_coeffs(small_layout, simulator):
+    return ScoreCoefficients.calibrated(small_layout, simulator)
+
+
+@pytest.fixture(scope="session")
+def small_problem(small_layout, small_coeffs):
+    return FillProblem(small_layout, small_coeffs)
+
+
+@pytest.fixture(scope="session")
+def trained_surrogate(small_layout, simulator):
+    """A briefly pre-trained CMP neural network bound to small_layout."""
+    network, history, report = pretrain_surrogate(
+        [small_layout], small_layout,
+        sample_count=20, tile_rows=10, tile_cols=10,
+        base_channels=6, depth=2,
+        config=TrainConfig(epochs=12, batch_size=4),
+        simulator=simulator, seed=0,
+    )
+    return network

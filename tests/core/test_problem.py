@@ -1,0 +1,99 @@
+"""Tests for the problem formulation and Table II coefficients."""
+
+import numpy as np
+import pytest
+
+from repro.core import FillProblem, ScoreCoefficients, paper_table2
+from repro.layout import make_design_a
+
+
+class TestScoreCoefficients:
+    def test_defaults_are_design_a(self):
+        c = ScoreCoefficients()
+        assert c.beta_sigma == 209.0
+        assert c.alpha_sigma == 0.2
+
+    def test_alpha_totals(self):
+        c = ScoreCoefficients()
+        assert c.quality_alpha_total == pytest.approx(0.75)
+        assert c.overall_alpha_total == pytest.approx(1.0)
+
+    def test_negative_beta_rejected(self):
+        with pytest.raises(ValueError):
+            ScoreCoefficients(beta_sigma=-1.0)
+        with pytest.raises(ValueError):
+            ScoreCoefficients(beta_runtime=0.0)
+
+    def test_planarity_weights_subset(self):
+        c = ScoreCoefficients()
+        w = c.planarity_weights()
+        assert w.alpha_sigma == c.alpha_sigma
+        assert w.beta_line == c.beta_line
+        assert w.beta_outlier == c.beta_outlier
+
+    @pytest.mark.parametrize("design,beta_ov,beta_sigma,beta_fs", [
+        ("A", 2400724.0, 209.0, 32.8),
+        ("B", 6596491.0, 133.0, 1897.4),
+        ("C", 3232445.0, 105.0, 161.2),
+    ])
+    def test_paper_table2_rows(self, design, beta_ov, beta_sigma, beta_fs):
+        c = paper_table2(design)
+        assert c.beta_overlay == beta_ov
+        assert c.beta_fill == beta_ov  # Table II: equal betas
+        assert c.beta_sigma == beta_sigma
+        assert c.beta_filesize == beta_fs
+        assert c.beta_runtime == 1200.0  # 20 min
+        assert c.beta_memory == 8.0
+
+    def test_paper_table2_unknown(self):
+        with pytest.raises(ValueError):
+            paper_table2("D")
+
+    def test_calibrated_betas_positive(self, small_layout, simulator):
+        c = ScoreCoefficients.calibrated(small_layout, simulator)
+        for name, value in vars(c).items():
+            if name.startswith("beta"):
+                assert value > 0, name
+
+    def test_calibrated_headroom_scales(self, small_layout, simulator):
+        c1 = ScoreCoefficients.calibrated(small_layout, simulator, headroom=1.0)
+        c2 = ScoreCoefficients.calibrated(small_layout, simulator, headroom=2.0)
+        assert c2.beta_sigma == pytest.approx(2 * c1.beta_sigma)
+        assert c2.beta_line == pytest.approx(2 * c1.beta_line)
+
+    def test_calibrated_override(self, small_layout, simulator):
+        c = ScoreCoefficients.calibrated(small_layout, simulator,
+                                         beta_runtime=33.0)
+        assert c.beta_runtime == 33.0
+
+    def test_calibrated_bad_headroom(self, small_layout, simulator):
+        with pytest.raises(ValueError):
+            ScoreCoefficients.calibrated(small_layout, simulator, headroom=0.0)
+
+    def test_calibrated_nofill_scores_half(self, small_layout, simulator):
+        """With headroom 2, the unfilled layout scores 0.5 on sigma."""
+        c = ScoreCoefficients.calibrated(small_layout, simulator, headroom=2.0)
+        h = simulator.simulate_layout(small_layout).height
+        sigma0 = sum(np.var(h[l]) for l in range(h.shape[0]))
+        assert 1.0 - sigma0 / c.beta_sigma == pytest.approx(0.5, abs=1e-9)
+
+
+class TestFillProblem:
+    def test_bounds(self, small_problem):
+        assert np.all(small_problem.lower == 0)
+        np.testing.assert_array_equal(
+            small_problem.upper, small_problem.layout.slack_stack()
+        )
+        assert small_problem.num_variables == 300
+
+    def test_clip(self, small_problem):
+        huge = np.full(small_problem.layout.shape, 1e9)
+        clipped = small_problem.clip(huge)
+        assert small_problem.feasible(clipped)
+
+    def test_feasible(self, small_problem):
+        assert small_problem.feasible(np.zeros(small_problem.layout.shape))
+        assert not small_problem.feasible(
+            np.full(small_problem.layout.shape, -1.0)
+        )
+        assert not small_problem.feasible(np.zeros((1, 2, 2)))

@@ -1,0 +1,91 @@
+"""Tests for the comparison harness and table formatters."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import lin_fill
+from repro.core import ScoreCoefficients, paper_table2
+from repro.evaluation import (
+    format_histogram,
+    format_table1,
+    format_table2,
+    format_table3,
+    run_comparison,
+    run_method,
+)
+
+
+class TestRunMethod:
+    def test_scores_and_memory(self, small_problem, simulator):
+        row = run_method(small_problem, lambda p: lin_fill(p), simulator)
+        assert row.score.method == "lin"
+        assert row.memory_gb >= 0
+        assert 0 <= row.score.overall <= 1
+
+    def test_memory_tracking_optional(self, small_problem, simulator):
+        row = run_method(small_problem, lambda p: lin_fill(p), simulator,
+                         track_memory=False)
+        assert row.memory_gb == 0.0
+
+
+class TestRunComparison:
+    def test_nofill_row_included(self, small_problem, simulator):
+        rows = run_comparison(small_problem, {"lin": lambda p: lin_fill(p)},
+                              simulator)
+        assert rows[0].score.method == "no-fill"
+        assert rows[0].result.fill.sum() == 0
+        assert rows[1].score.method == "lin"
+
+    def test_nofill_row_excluded(self, small_problem, simulator):
+        rows = run_comparison(small_problem, {"lin": lambda p: lin_fill(p)},
+                              simulator, include_nofill=False)
+        assert len(rows) == 1
+
+    def test_empty_methods_rejected(self, small_problem, simulator):
+        with pytest.raises(ValueError):
+            run_comparison(small_problem, {}, simulator)
+
+    def test_method_name_overrides_label(self, small_problem, simulator):
+        rows = run_comparison(
+            small_problem, {"my-lin": lambda p: lin_fill(p)}, simulator,
+            include_nofill=False,
+        )
+        assert rows[0].score.method == "my-lin"
+
+
+class TestFormatters:
+    def test_table3_contains_all_rows(self, small_problem, simulator):
+        rows = run_comparison(small_problem, {"lin": lambda p: lin_fill(p)},
+                              simulator)
+        text = format_table3([r.score for r in rows], title="T")
+        assert "no-fill" in text
+        assert "lin" in text
+        assert "Quality" in text
+
+    def test_table1_speedups(self):
+        text = format_table1(sim_eval_s=4.7, sim_grad_s=34100.0,
+                             nn_eval_s=0.025, nn_grad_s=0.067)
+        assert "Objective Evaluation" in text
+        assert "Gradient Calculation" in text
+        # 34100/64/0.067 ~ 7953x appears
+        assert "7952." in text or "7953." in text
+
+    def test_table2_lists_designs(self):
+        text = format_table2({
+            "A": paper_table2("A"),
+            "B": paper_table2("B"),
+            "C": paper_table2("C"),
+        })
+        assert "2400724" in text
+        assert "6596491" in text
+        assert text.count("\n") >= 4
+
+    def test_table2_custom(self, small_coeffs):
+        text = format_table2({"A-scaled": small_coeffs})
+        assert "A-scaled" in text
+
+    def test_histogram(self):
+        counts, edges = np.histogram([0.01, 0.02, 0.02, 0.05], bins=4)
+        text = format_histogram(counts, edges, title="Fig9")
+        assert "Fig9" in text
+        assert "#" in text

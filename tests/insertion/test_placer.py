@@ -1,0 +1,115 @@
+"""Tests for dummy fill insertion (shapes from synthesis results)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.insertion import (
+    insert_dummies,
+    load_shapes,
+    rasterise_shapes,
+    save_shapes,
+    shapes_from_dict,
+    shapes_to_dict,
+    window_capacity,
+)
+from repro.layout import make_design_a
+
+
+@pytest.fixture(scope="module")
+def layout():
+    return make_design_a(rows=6, cols=6)
+
+
+@pytest.fixture(scope="module")
+def fill(layout):
+    rng = np.random.default_rng(0)
+    return 0.3 * rng.random(layout.shape) * layout.slack_stack()
+
+
+class TestWindowCapacity:
+    def test_basic(self):
+        # 100 um window, 2 um dummies, 0.5 um spacing -> pitch 2.5,
+        # (100 - 0.5) // 2.5 = 39 per axis.
+        assert window_capacity(100.0, 2.0, 0.5) == 39 * 39
+
+    def test_oversized_dummy(self):
+        assert window_capacity(10.0, 20.0, 0.5) == 0
+
+
+class TestInsertDummies:
+    def test_area_matches_within_quantisation(self, layout, fill):
+        result = insert_dummies(layout, fill)
+        assert result.quantisation_error <= 0.5 * 4.0  # half a dummy
+        np.testing.assert_allclose(
+            result.placed_area.sum(), fill.sum(), rtol=0.01
+        )
+
+    def test_shapes_inside_their_windows(self, layout, fill):
+        result = insert_dummies(layout, fill)
+        win = layout.grid.window_um
+        for shape in result.shapes[:500]:
+            i, j = layout.grid.window_of(
+                0.5 * (shape.rect.x0 + shape.rect.x1),
+                0.5 * (shape.rect.y0 + shape.rect.y1),
+            )
+            assert j * win <= shape.rect.x0 and shape.rect.x1 <= (j + 1) * win
+            assert i * win <= shape.rect.y0 and shape.rect.y1 <= (i + 1) * win
+
+    def test_no_overlaps_within_window(self, layout):
+        fill = np.zeros(layout.shape)
+        fill[0, 0, 0] = 400.0  # 100 dummies in one window
+        result = insert_dummies(layout, fill)
+        rects = [s.rect for s in result.shapes]
+        assert len(rects) == 100
+        for a in range(0, len(rects), 7):
+            for b in range(a + 1, len(rects), 11):
+                assert not rects[a].intersects(rects[b])
+
+    def test_rasterise_matches_placed(self, layout, fill):
+        result = insert_dummies(layout, fill)
+        raster = rasterise_shapes(layout, result.shapes)
+        np.testing.assert_allclose(raster, result.placed_area, rtol=1e-12)
+
+    def test_capacity_exceeded_raises(self, layout):
+        fill = np.zeros(layout.shape)
+        fill[0, 0, 0] = 9000.0
+        with pytest.raises(ValueError):
+            insert_dummies(layout, fill, dummy_side=30.0, spacing=5.0)
+
+    def test_invalid_params(self, layout, fill):
+        with pytest.raises(ValueError):
+            insert_dummies(layout, fill, dummy_side=0.0)
+        with pytest.raises(ValueError):
+            insert_dummies(layout, fill, spacing=-1.0)
+
+    def test_infeasible_fill_rejected(self, layout):
+        with pytest.raises(ValueError):
+            insert_dummies(layout, np.full(layout.shape, 1e9))
+
+    @given(scale=st.floats(0.0, 0.5))
+    @settings(max_examples=10, deadline=None)
+    def test_property_placed_never_exceeds_capacity_area(self, scale):
+        lay = make_design_a(rows=4, cols=4)
+        fill = scale * lay.slack_stack()
+        result = insert_dummies(lay, fill)
+        cap = window_capacity(lay.grid.window_um, 2.0, 0.5) * 4.0
+        assert np.all(result.placed_area <= cap + 1e-9)
+
+
+class TestShapeIO:
+    def test_roundtrip_file(self, layout, fill, tmp_path):
+        result = insert_dummies(layout, fill)
+        path = tmp_path / "shapes.json"
+        save_shapes(result.shapes, path)
+        back = load_shapes(path)
+        assert back == result.shapes
+
+    def test_dict_roundtrip(self, layout, fill):
+        result = insert_dummies(layout, fill)
+        assert shapes_from_dict(shapes_to_dict(result.shapes)) == result.shapes
+
+    def test_bad_version(self):
+        with pytest.raises(ValueError):
+            shapes_from_dict({"format_version": 99, "shapes": []})

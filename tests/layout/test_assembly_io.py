@@ -1,0 +1,128 @@
+"""Tests for training-data assembly (Fig. 8) and layout JSON persistence."""
+
+import numpy as np
+import pytest
+
+from repro.layout import (
+    generate_training_layouts,
+    layout_from_dict,
+    layout_to_dict,
+    load_layout,
+    make_design_a,
+    make_design_b,
+    random_legal_fill,
+    save_layout,
+    tile_to_size,
+    window_pool,
+)
+from repro.layout.assembly import assemble_layout
+
+
+class TestWindowPool:
+    def test_pool_size(self):
+        a = make_design_a(rows=8, cols=8)
+        b = make_design_b(rows=6, cols=6)
+        pool = window_pool([a, b])
+        assert pool["density"].shape == (8 * 8 + 6 * 6, 3)
+        assert set(pool) == {"density", "slack", "perimeter", "width"}
+
+    def test_empty_sources_rejected(self):
+        with pytest.raises(ValueError):
+            window_pool([])
+
+    def test_mismatched_layer_counts_rejected(self):
+        a = make_design_a(rows=6, cols=6)
+        single = make_design_a(rows=6, cols=6)
+        single.layers.pop()
+        with pytest.raises(ValueError):
+            window_pool([a, single])
+
+
+class TestAssembly:
+    def test_assembled_shape(self):
+        a = make_design_a(rows=8, cols=8)
+        pool = window_pool([a])
+        rng = np.random.default_rng(0)
+        lay = assemble_layout(pool, 12, 10, a.trench_depths(), rng)
+        assert lay.shape == (3, 12, 10)
+
+    def test_assembled_windows_come_from_pool(self):
+        a = make_design_a(rows=8, cols=8)
+        pool = window_pool([a])
+        rng = np.random.default_rng(0)
+        lay = assemble_layout(pool, 5, 5, a.trench_depths(), rng)
+        source = set(np.round(pool["density"][:, 0], 12))
+        assembled = set(np.round(lay.layers[0].density.ravel(), 12))
+        assert assembled <= source
+
+    def test_random_legal_fill_within_slack(self):
+        a = make_design_a(rows=8, cols=8)
+        fill = random_legal_fill(a, np.random.default_rng(0))
+        a.validate_fill(fill)
+
+    def test_generate_training_layouts(self):
+        a = make_design_a(rows=8, cols=8)
+        pairs = generate_training_layouts([a], count=3, rows=6, cols=6, seed=1)
+        assert len(pairs) == 3
+        for lay, fill in pairs:
+            assert lay.shape == (3, 6, 6)
+            lay.validate_fill(fill)
+
+    def test_generation_deterministic(self):
+        a = make_design_a(rows=8, cols=8)
+        p1 = generate_training_layouts([a], 2, 6, 6, seed=42)
+        p2 = generate_training_layouts([a], 2, 6, 6, seed=42)
+        np.testing.assert_array_equal(p1[0][1], p2[0][1])
+        np.testing.assert_array_equal(
+            p1[1][0].density_stack(), p2[1][0].density_stack()
+        )
+
+
+class TestTiling:
+    def test_tile_up(self):
+        a = make_design_a(rows=6, cols=6)
+        t = tile_to_size(a, 16, 16)
+        assert t.grid.shape == (16, 16)
+        np.testing.assert_array_equal(
+            t.layers[0].density[:6, :6], a.layers[0].density
+        )
+        # Periodic duplication.
+        np.testing.assert_array_equal(
+            t.layers[0].density[6:12, :6], a.layers[0].density
+        )
+
+    def test_tile_crop(self):
+        a = make_design_a(rows=8, cols=8)
+        t = tile_to_size(a, 5, 5)
+        assert t.grid.shape == (5, 5)
+        np.testing.assert_array_equal(
+            t.layers[1].density, a.layers[1].density[:5, :5]
+        )
+
+
+class TestLayoutIO:
+    def test_roundtrip_exact(self, tmp_path):
+        a = make_design_a(rows=6, cols=7)
+        path = tmp_path / "a.json"
+        save_layout(a, path)
+        back = load_layout(path)
+        assert back.name == a.name
+        assert back.grid.shape == a.grid.shape
+        assert back.file_size_mb == a.file_size_mb
+        np.testing.assert_array_equal(back.density_stack(), a.density_stack())
+        np.testing.assert_array_equal(back.slack_stack(), a.slack_stack())
+        np.testing.assert_array_equal(back.perimeter_stack(), a.perimeter_stack())
+
+    def test_dict_roundtrip(self):
+        a = make_design_a(rows=4, cols=4)
+        d = layout_to_dict(a)
+        back = layout_from_dict(d)
+        np.testing.assert_array_equal(back.width_stack(), a.width_stack())
+        assert back.trench_depths().tolist() == a.trench_depths().tolist()
+
+    def test_bad_version_rejected(self):
+        a = make_design_a(rows=4, cols=4)
+        d = layout_to_dict(a)
+        d["format_version"] = 99
+        with pytest.raises(ValueError):
+            layout_from_dict(d)

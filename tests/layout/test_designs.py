@@ -1,0 +1,95 @@
+"""Tests for the synthetic benchmark design generators."""
+
+import numpy as np
+import pytest
+
+from repro.layout import (
+    MAX_FILL_DENSITY,
+    make_design,
+    make_design_a,
+    make_design_b,
+    make_design_c,
+    make_two_fillable_window_layout,
+)
+
+
+@pytest.mark.parametrize("builder,name", [
+    (make_design_a, "design_a"),
+    (make_design_b, "design_b"),
+    (make_design_c, "design_c"),
+])
+class TestDesignGenerators:
+    def test_shape_and_layers(self, builder, name):
+        lay = builder(rows=16, cols=12)
+        assert lay.name == name
+        assert lay.num_layers == 3
+        assert lay.grid.shape == (16, 12)
+
+    def test_density_in_range(self, builder, name):
+        lay = builder(rows=16, cols=12)
+        d = lay.density_stack()
+        assert np.all(d >= 0.0) and np.all(d <= 0.95)
+
+    def test_slack_respects_max_density(self, builder, name):
+        lay = builder(rows=16, cols=12)
+        d = lay.density_stack()
+        s = lay.slack_stack()
+        # Filling all slack must never push density past the cap.
+        post = d + s / lay.grid.window_area
+        assert np.all(post <= MAX_FILL_DENSITY + 1e-9)
+
+    def test_deterministic_for_seed(self, builder, name):
+        a = builder(rows=12, cols=12, seed=5)
+        b = builder(rows=12, cols=12, seed=5)
+        np.testing.assert_array_equal(a.density_stack(), b.density_stack())
+        np.testing.assert_array_equal(a.slack_stack(), b.slack_stack())
+
+    def test_different_seeds_differ(self, builder, name):
+        a = builder(rows=12, cols=12, seed=1)
+        b = builder(rows=12, cols=12, seed=2)
+        assert not np.array_equal(a.slack_stack(), b.slack_stack())
+
+    def test_positive_perimeter_where_dense(self, builder, name):
+        lay = builder(rows=16, cols=12)
+        per = lay.perimeter_stack()
+        d = lay.density_stack()
+        assert np.all(per[d > 0.05] > 0)
+
+
+def test_designs_have_distinct_density_structure():
+    """A is blocky wedges, B is periodic fabric, C is heterogeneous macros."""
+    a = make_design_a(rows=24, cols=24)
+    b = make_design_b(rows=24, cols=24)
+    c = make_design_c(rows=24, cols=24)
+    # C has the widest density spread (sparse periphery vs dense SRAM).
+    spread = {l.name: float(np.ptp(l.density_stack()[0])) for l in (a, b, c)}
+    assert spread["design_c"] > spread["design_b"]
+
+
+def test_make_design_registry():
+    lay = make_design("A", scale=0.25)
+    assert lay.name == "design_a"
+    assert lay.grid.rows == 12
+    with pytest.raises(ValueError):
+        make_design("Z")
+
+
+def test_make_design_file_sizes_match_paper():
+    assert make_design("A", scale=0.2).file_size_mb == pytest.approx(16.4)
+    assert make_design("B", scale=0.2).file_size_mb == pytest.approx(948.7)
+    assert make_design("C", scale=0.2).file_size_mb == pytest.approx(80.6)
+
+
+class TestTwoWindowToy:
+    def test_only_two_fillable_windows(self):
+        lay = make_two_fillable_window_layout()
+        slack = lay.slack_stack()
+        assert lay.num_layers == 1
+        assert int(np.count_nonzero(slack)) == 2
+
+    def test_fillable_positions_respected(self):
+        lay = make_two_fillable_window_layout(windows=((1, 2), (3, 4)))
+        slack = lay.slack_stack()[0]
+        assert slack[1, 2] > 0
+        assert slack[3, 4] > 0
+        assert slack.sum() == pytest.approx(slack[1, 2] + slack[3, 4])

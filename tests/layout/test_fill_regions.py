@@ -1,0 +1,120 @@
+"""Tests for the four-type slack decomposition (paper Fig. 5)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.layout import (
+    LayerWindows,
+    Layout,
+    WindowGrid,
+    allocate_fill_by_priority,
+    compute_slack_regions,
+    make_design_a,
+)
+
+
+def layered_layout(densities, slack=2000.0, rows=3, cols=3):
+    grid = WindowGrid(rows, cols)
+    layers = [
+        LayerWindows(
+            name=f"M{i}",
+            density=np.full((rows, cols), rho),
+            slack=np.full((rows, cols), slack),
+            wire_perimeter=np.full((rows, cols), 100.0),
+            wire_width=np.full((rows, cols), 0.2),
+        )
+        for i, rho in enumerate(densities)
+    ]
+    return Layout("t", grid, layers)
+
+
+class TestComputeSlackRegions:
+    def test_types_partition_slack(self):
+        lay = make_design_a(rows=10, cols=10)
+        regs = compute_slack_regions(lay)
+        np.testing.assert_allclose(regs.total, lay.slack_stack(), rtol=1e-12)
+
+    def test_all_types_nonnegative(self):
+        lay = make_design_a(rows=10, cols=10)
+        regs = compute_slack_regions(lay)
+        for arr in (regs.type1, regs.type2, regs.type3, regs.type4):
+            assert np.all(arr >= 0)
+
+    def test_single_layer_is_all_type1(self):
+        lay = layered_layout([0.5])
+        regs = compute_slack_regions(lay)
+        np.testing.assert_allclose(regs.type1, lay.slack_stack())
+        assert np.all(regs.type2 == 0)
+        assert np.all(regs.type3 == 0)
+        assert np.all(regs.type4 == 0)
+
+    def test_boundary_layers_see_no_outside_wire(self):
+        """Bottom layer has no wire below; top layer none above."""
+        lay = layered_layout([0.5, 0.5, 0.5])
+        regs = compute_slack_regions(lay)
+        assert np.all(regs.type3[0] == 0)  # nothing below layer 0
+        assert np.all(regs.type4[0] == 0)
+        assert np.all(regs.type2[-1] == 0)  # nothing above top layer
+        assert np.all(regs.type4[-1] == 0)
+
+    def test_dense_neighbours_shift_slack_to_type4(self):
+        sparse = compute_slack_regions(layered_layout([0.1, 0.5, 0.1]))
+        dense = compute_slack_regions(layered_layout([0.8, 0.5, 0.8]))
+        assert np.all(dense.type4[1] > sparse.type4[1])
+        assert np.all(dense.type1[1] < sparse.type1[1])
+
+    def test_non_overlap_slack_bounded(self):
+        lay = make_design_a(rows=8, cols=8)
+        regs = compute_slack_regions(lay)
+        area = lay.grid.window_area
+        assert np.all(regs.non_overlap_slack >= 0)
+        assert np.all(regs.non_overlap_slack <= area + 1e-9)
+
+
+class TestAllocateFillByPriority:
+    def test_allocation_sums_to_fill(self):
+        lay = make_design_a(rows=8, cols=8)
+        regs = compute_slack_regions(lay)
+        fill = 0.7 * lay.slack_stack()
+        parts = allocate_fill_by_priority(fill, regs)
+        np.testing.assert_allclose(parts.sum(axis=0), fill, rtol=1e-10)
+
+    def test_priority_order(self):
+        """Type 2 is used only once type 1 is exhausted, etc."""
+        lay = make_design_a(rows=8, cols=8)
+        regs = compute_slack_regions(lay)
+        fill = 0.9 * lay.slack_stack()
+        parts = allocate_fill_by_priority(fill, regs)
+        caps = regs.stacked()
+        for t in range(1, 4):
+            used_later = parts[t] > 1e-9
+            earlier_full = np.abs(parts[t - 1] - caps[t - 1]) < 1e-6
+            assert np.all(earlier_full[used_later])
+
+    def test_capacity_respected(self):
+        lay = make_design_a(rows=8, cols=8)
+        regs = compute_slack_regions(lay)
+        parts = allocate_fill_by_priority(lay.slack_stack(), regs)
+        caps = regs.stacked()
+        assert np.all(parts <= caps + 1e-9)
+
+    def test_over_capacity_rejected(self):
+        lay = make_design_a(rows=4, cols=4)
+        regs = compute_slack_regions(lay)
+        with pytest.raises(ValueError):
+            allocate_fill_by_priority(lay.slack_stack() * 2.0, regs)
+
+    @given(
+        frac=hnp.arrays(np.float64, (2, 4, 4), elements=st.floats(0, 1)),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_partition(self, frac):
+        lay = layered_layout([0.3, 0.6], rows=4, cols=4)
+        regs = compute_slack_regions(lay)
+        fill = frac * regs.total
+        parts = allocate_fill_by_priority(fill, regs)
+        np.testing.assert_allclose(parts.sum(axis=0), fill, atol=1e-9)
+        assert np.all(parts >= 0)

@@ -1,0 +1,89 @@
+"""Unit and property tests for rectangle geometry."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.layout.geometry import Rect, union_area
+
+
+def test_rect_basic_properties():
+    r = Rect(0, 0, 4, 3)
+    assert r.width == 4
+    assert r.height == 3
+    assert r.area == 12
+    assert r.perimeter == 14
+
+
+def test_degenerate_rect_rejected():
+    with pytest.raises(ValueError):
+        Rect(2, 0, 1, 1)
+    with pytest.raises(ValueError):
+        Rect(0, 5, 1, 1)
+
+
+def test_zero_area_rect_allowed():
+    r = Rect(1, 1, 1, 4)
+    assert r.area == 0
+    assert r.width == 0
+
+
+def test_intersects_and_intersection():
+    a = Rect(0, 0, 2, 2)
+    b = Rect(1, 1, 3, 3)
+    assert a.intersects(b)
+    inter = a.intersection(b)
+    assert inter == Rect(1, 1, 2, 2)
+
+
+def test_touching_rects_do_not_intersect():
+    a = Rect(0, 0, 1, 1)
+    b = Rect(1, 0, 2, 1)
+    assert not a.intersects(b)
+    assert a.intersection(b) is None
+
+
+def test_translated():
+    assert Rect(0, 0, 1, 1).translated(2, 3) == Rect(2, 3, 3, 4)
+
+
+def test_contains_point_half_open():
+    r = Rect(0, 0, 1, 1)
+    assert r.contains_point(0, 0)
+    assert not r.contains_point(1, 1)
+
+
+def test_union_area_disjoint_and_overlapping():
+    assert union_area([]) == 0.0
+    assert union_area([Rect(0, 0, 1, 1), Rect(2, 0, 3, 1)]) == pytest.approx(2.0)
+    assert union_area([Rect(0, 0, 2, 2), Rect(1, 1, 3, 3)]) == pytest.approx(7.0)
+
+
+def test_union_area_nested():
+    outer = Rect(0, 0, 10, 10)
+    inner = Rect(2, 2, 4, 4)
+    assert union_area([outer, inner]) == pytest.approx(100.0)
+
+
+rect_strategy = st.builds(
+    lambda x, y, w, h: Rect(x, y, x + w, y + h),
+    st.floats(-50, 50), st.floats(-50, 50),
+    st.floats(0.1, 20), st.floats(0.1, 20),
+)
+
+
+@given(st.lists(rect_strategy, min_size=1, max_size=8))
+def test_union_area_bounds(rects):
+    """Union area is between the max single area and the sum of areas."""
+    u = union_area(rects)
+    assert u <= sum(r.area for r in rects) + 1e-6
+    assert u >= max(r.area for r in rects) - 1e-6
+
+
+@given(rect_strategy, rect_strategy)
+def test_intersection_symmetric_and_contained(a, b):
+    assert a.intersects(b) == b.intersects(a)
+    inter = a.intersection(b)
+    if inter is not None:
+        assert inter.area <= min(a.area, b.area) + 1e-9
+        assert union_area([a, b]) == pytest.approx(a.area + b.area - inter.area, rel=1e-6, abs=1e-6)

@@ -1,0 +1,41 @@
+"""Finite-difference gradient checking helper for autodiff tests."""
+
+import numpy as np
+
+from repro.nn import Tensor
+
+
+def numeric_grad(fn, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of scalar ``fn`` w.r.t. ``x``."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = grad.ravel()
+    xf = x.ravel()
+    for k in range(x.size):
+        orig = xf[k]
+        xf[k] = orig + eps
+        hi = fn(x)
+        xf[k] = orig - eps
+        lo = fn(x)
+        xf[k] = orig
+        flat[k] = (hi - lo) / (2 * eps)
+    return grad
+
+
+def check_grad(build, x: np.ndarray, eps: float = 1e-6,
+               rtol: float = 1e-4, atol: float = 1e-6) -> None:
+    """Assert autodiff gradient of ``build(Tensor) -> Tensor`` matches FD.
+
+    ``build`` maps a leaf tensor to a (not necessarily scalar) output; the
+    scalar objective is ``sum(output)``.
+    """
+    x = np.asarray(x, dtype=np.float64)
+
+    def scalar(arr):
+        t = Tensor(arr)
+        return float(build(t).sum().data)
+
+    expected = numeric_grad(scalar, x.copy(), eps=eps)
+    leaf = Tensor(x, requires_grad=True)
+    out = build(leaf).sum()
+    out.backward()
+    np.testing.assert_allclose(leaf.grad, expected, rtol=rtol, atol=atol)

@@ -1,0 +1,111 @@
+"""Tests for GroupNorm, LR schedulers and gradient clipping."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    SGD,
+    Adam,
+    CosineLR,
+    GroupNorm,
+    StepLR,
+    Tensor,
+    clip_grad_norm,
+)
+
+from .gradcheck import check_grad
+
+
+class TestGroupNorm:
+    def test_normalises_per_group(self):
+        gn = GroupNorm(2, 4)
+        x = Tensor(np.random.default_rng(0).normal(3.0, 5.0, size=(2, 4, 6, 6)))
+        out = gn(x).data
+        # Each (sample, group) block is zero-mean unit-var.
+        grouped = out.reshape(2, 2, 2, 6, 6)
+        np.testing.assert_allclose(grouped.mean(axis=(2, 3, 4)), 0.0, atol=1e-10)
+        np.testing.assert_allclose(grouped.var(axis=(2, 3, 4)), 1.0, rtol=1e-3)
+
+    def test_batch_independent(self):
+        """The property BatchNorm lacks: per-sample results never depend
+        on what else is in the batch."""
+        gn = GroupNorm(2, 4)
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(1, 4, 5, 5))
+        alone = gn(Tensor(x)).data
+        batched = gn(Tensor(np.concatenate([x, rng.normal(size=(3, 4, 5, 5))]))).data
+        np.testing.assert_allclose(batched[:1], alone, rtol=1e-12)
+
+    def test_gradients_flow(self):
+        gn = GroupNorm(1, 2)
+        check_grad(lambda t: gn(t),
+                   np.random.default_rng(2).normal(size=(1, 2, 3, 3)),
+                   rtol=1e-3, atol=1e-6)
+        assert gn.gamma.requires_grad and gn.beta.requires_grad
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GroupNorm(3, 4)  # not divisible
+        gn = GroupNorm(2, 4)
+        with pytest.raises(ValueError):
+            gn(Tensor(np.ones((2, 4, 4))))  # not 4-D
+        with pytest.raises(ValueError):
+            gn(Tensor(np.ones((1, 6, 4, 4))))  # wrong channels
+
+
+class TestClipGradNorm:
+    def test_clips_when_over(self):
+        p = Tensor(np.zeros(4), requires_grad=True)
+        p.grad = np.full(4, 10.0)
+        norm = clip_grad_norm([p], max_norm=1.0)
+        assert norm == pytest.approx(20.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0, rel=1e-6)
+
+    def test_no_clip_when_under(self):
+        p = Tensor(np.zeros(4), requires_grad=True)
+        p.grad = np.full(4, 0.1)
+        clip_grad_norm([p], max_norm=10.0)
+        np.testing.assert_allclose(p.grad, 0.1)
+
+    def test_none_grads_skipped(self):
+        p = Tensor(np.zeros(4), requires_grad=True)
+        assert clip_grad_norm([p], max_norm=1.0) == 0.0
+
+    def test_invalid_max_norm(self):
+        with pytest.raises(ValueError):
+            clip_grad_norm([], max_norm=0.0)
+
+
+class TestSchedulers:
+    def _opt(self, lr=0.1):
+        return SGD([Tensor(np.zeros(1), requires_grad=True)], lr=lr)
+
+    def test_step_lr_halves(self):
+        opt = self._opt()
+        sched = StepLR(opt, step_size=2, gamma=0.5)
+        lrs = [sched.step() for _ in range(6)]
+        np.testing.assert_allclose(lrs, [0.1, 0.05, 0.05, 0.025, 0.025, 0.0125])
+
+    def test_cosine_lr_endpoints(self):
+        opt = self._opt()
+        sched = CosineLR(opt, t_max=10, min_lr=0.01)
+        lrs = [sched.step() for _ in range(12)]
+        assert lrs[0] < 0.1  # decays immediately
+        assert lrs[9] == pytest.approx(0.01, abs=1e-9)
+        assert lrs[11] == pytest.approx(0.01, abs=1e-9)  # clamped past t_max
+        assert all(a >= b - 1e-12 for a, b in zip(lrs, lrs[1:]))
+
+    def test_scheduler_affects_updates(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        opt = Adam([x], lr=0.1)
+        sched = StepLR(opt, step_size=1, gamma=0.1)
+        sched.step()
+        assert opt.lr == pytest.approx(0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StepLR(self._opt(), step_size=0)
+        with pytest.raises(ValueError):
+            StepLR(self._opt(), step_size=1, gamma=1.5)
+        with pytest.raises(ValueError):
+            CosineLR(self._opt(), t_max=0)

@@ -1,0 +1,201 @@
+"""Tests for the autodiff Tensor core: forward values and gradients."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.nn import Tensor
+
+from .gradcheck import check_grad
+
+arrays = hnp.arrays(
+    np.float64, hnp.array_shapes(min_dims=1, max_dims=3, max_side=4),
+    elements=st.floats(-3, 3),
+)
+
+
+class TestForward:
+    def test_add_sub_mul_div(self):
+        a = Tensor([1.0, 2.0])
+        b = Tensor([3.0, 4.0])
+        np.testing.assert_allclose((a + b).data, [4, 6])
+        np.testing.assert_allclose((a - b).data, [-2, -2])
+        np.testing.assert_allclose((a * b).data, [3, 8])
+        np.testing.assert_allclose((a / b).data, [1 / 3, 0.5])
+
+    def test_scalar_mixing(self):
+        a = Tensor([1.0, 2.0])
+        np.testing.assert_allclose((2 + a).data, [3, 4])
+        np.testing.assert_allclose((2 * a).data, [2, 4])
+        np.testing.assert_allclose((2 - a).data, [1, 0])
+        np.testing.assert_allclose((2 / a).data, [2, 1])
+
+    def test_pow_matmul(self):
+        a = Tensor([[1.0, 2.0], [3.0, 4.0]])
+        np.testing.assert_allclose((a**2).data, [[1, 4], [9, 16]])
+        np.testing.assert_allclose((a @ a).data, np.array([[1, 2], [3, 4]]) @ np.array([[1, 2], [3, 4]]))
+
+    def test_reductions(self):
+        a = Tensor([[1.0, 2.0], [3.0, 4.0]])
+        assert a.sum().item() == 10
+        assert a.mean().item() == 2.5
+        np.testing.assert_allclose(a.sum(axis=0).data, [4, 6])
+        np.testing.assert_allclose(a.mean(axis=1, keepdims=True).data, [[1.5], [3.5]])
+        assert a.var().item() == pytest.approx(np.var([[1, 2], [3, 4]]))
+
+    def test_shape_ops(self):
+        a = Tensor(np.arange(6.0))
+        assert a.reshape(2, 3).shape == (2, 3)
+        assert a.reshape((3, 2)).shape == (3, 2)
+        b = Tensor(np.arange(6.0).reshape(2, 3))
+        assert b.transpose().shape == (3, 2)
+        assert b[0].shape == (3,)
+        assert b[:, 1:].shape == (2, 2)
+
+    def test_elementwise_functions(self):
+        a = Tensor([-1.0, 4.0])
+        np.testing.assert_allclose(a.abs().data, [1, 4])
+        np.testing.assert_allclose(a.exp().data, np.exp([-1, 4]))
+        np.testing.assert_allclose(Tensor([4.0]).sqrt().data, [2.0])
+        np.testing.assert_allclose(Tensor([1.0]).log().data, [0.0])
+
+    def test_requires_grad_propagates(self):
+        a = Tensor([1.0], requires_grad=True)
+        b = Tensor([2.0])
+        assert (a + b).requires_grad
+        assert not (b + b).requires_grad
+
+    def test_detach(self):
+        a = Tensor([1.0], requires_grad=True)
+        d = (a * 2).detach()
+        assert not d.requires_grad
+
+    def test_item_and_repr(self):
+        t = Tensor(3.5, requires_grad=True)
+        assert t.item() == 3.5
+        assert "requires_grad" in repr(t)
+
+    def test_matmul_requires_2d(self):
+        with pytest.raises(ValueError):
+            Tensor([1.0]) @ Tensor([2.0])
+
+    def test_pow_rejects_tensor_exponent(self):
+        with pytest.raises(TypeError):
+            Tensor([2.0]) ** Tensor([2.0])
+
+
+class TestBackward:
+    def test_simple_chain(self):
+        x = Tensor([2.0], requires_grad=True)
+        y = (x * 3 + 1) ** 2  # y = (3x+1)^2, dy/dx = 6(3x+1) = 42
+        y.backward()
+        np.testing.assert_allclose(x.grad, [42.0])
+
+    def test_diamond_graph_accumulates(self):
+        x = Tensor([1.0], requires_grad=True)
+        a = x * 2
+        b = x * 3
+        y = a * b  # y = 6x^2, dy/dx = 12x
+        y.backward()
+        np.testing.assert_allclose(x.grad, [12.0])
+
+    def test_reused_node(self):
+        x = Tensor([2.0], requires_grad=True)
+        y = x * x * x  # x^3 -> 3x^2 = 12
+        y.backward()
+        np.testing.assert_allclose(x.grad, [12.0])
+
+    def test_backward_without_grad_flag_raises(self):
+        with pytest.raises(RuntimeError):
+            Tensor([1.0]).backward()
+
+    def test_bad_seed_shape_raises(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(ValueError):
+            (x * 2).backward(np.ones(3))
+
+    def test_custom_seed(self):
+        x = Tensor([1.0, 1.0], requires_grad=True)
+        (x * 2).backward(np.array([1.0, 5.0]))
+        np.testing.assert_allclose(x.grad, [2.0, 10.0])
+
+    def test_grad_accumulates_across_backwards(self):
+        x = Tensor([1.0], requires_grad=True)
+        (x * 2).backward()
+        (x * 2).backward()
+        np.testing.assert_allclose(x.grad, [4.0])
+        x.zero_grad()
+        assert x.grad is None
+
+
+class TestGradcheck:
+    def test_add_broadcast(self):
+        b = np.array([1.0, 2.0, 3.0])
+        check_grad(lambda t: t + Tensor(b), np.ones((2, 3)))
+
+    def test_mul_broadcast_column(self):
+        col = np.array([[2.0], [3.0]])
+        check_grad(lambda t: t * Tensor(col), np.random.default_rng(0).normal(size=(2, 3)))
+
+    def test_div(self):
+        check_grad(lambda t: t / Tensor([2.0, 4.0]), np.array([[1.0, 2.0], [3.0, 4.0]]))
+
+    def test_rdiv(self):
+        check_grad(lambda t: 1.0 / t, np.array([1.0, 2.0, -3.0]))
+
+    def test_pow(self):
+        check_grad(lambda t: t**3, np.array([1.0, -2.0, 0.5]))
+
+    def test_matmul(self):
+        rng = np.random.default_rng(1)
+        w = Tensor(rng.normal(size=(3, 2)))
+        check_grad(lambda t: t @ w, rng.normal(size=(4, 3)))
+
+    def test_matmul_weight_side(self):
+        rng = np.random.default_rng(2)
+        x = Tensor(rng.normal(size=(4, 3)))
+        check_grad(lambda t: x @ t, rng.normal(size=(3, 2)))
+
+    def test_sum_axis(self):
+        check_grad(lambda t: t.sum(axis=1), np.arange(6.0).reshape(2, 3))
+
+    def test_mean_keepdims(self):
+        check_grad(lambda t: t - t.mean(axis=0, keepdims=True),
+                   np.arange(6.0).reshape(2, 3))
+
+    def test_var(self):
+        check_grad(lambda t: t.var(), np.array([1.0, 3.0, -2.0, 4.0]))
+
+    def test_var_axis(self):
+        check_grad(lambda t: t.var(axis=1), np.arange(8.0).reshape(2, 4))
+
+    def test_abs_away_from_zero(self):
+        check_grad(lambda t: t.abs(), np.array([1.0, -2.0, 0.5]))
+
+    def test_exp_log(self):
+        check_grad(lambda t: t.exp(), np.array([0.1, -1.0]))
+        check_grad(lambda t: t.log(), np.array([0.5, 2.0]))
+
+    def test_reshape_transpose(self):
+        check_grad(lambda t: t.reshape(3, 2).transpose() * 2,
+                   np.arange(6.0).reshape(2, 3))
+
+    def test_getitem(self):
+        check_grad(lambda t: t[1:, :2] * 3, np.arange(9.0).reshape(3, 3))
+
+    @given(arrays)
+    @settings(max_examples=20, deadline=None)
+    def test_property_sum_grad_is_ones(self, x):
+        t = Tensor(x, requires_grad=True)
+        t.sum().backward()
+        np.testing.assert_allclose(t.grad, np.ones_like(x))
+
+    @given(arrays)
+    @settings(max_examples=20, deadline=None)
+    def test_property_linear_grad(self, x):
+        """d(sum(3x + 1))/dx == 3 everywhere."""
+        t = Tensor(x, requires_grad=True)
+        (t * 3 + 1).sum().backward()
+        np.testing.assert_allclose(t.grad, np.full_like(x, 3.0))

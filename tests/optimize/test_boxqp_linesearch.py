@@ -1,0 +1,103 @@
+"""Tests for the box-QP solver and the projected line search."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.optimize import projected_armijo, solve_box_qp
+
+
+class TestBoxQp:
+    def test_unconstrained_minimum_inside_box(self):
+        B = np.diag([2.0, 4.0])
+        g = np.array([-2.0, -4.0])  # minimiser at (1, 1)
+        res = solve_box_qp(B, g, np.full(2, -5.0), np.full(2, 5.0))
+        assert res.converged
+        np.testing.assert_allclose(res.x, [1.0, 1.0], atol=1e-8)
+
+    def test_minimum_clipped_to_bound(self):
+        B = np.eye(2) * 2
+        g = np.array([-10.0, 0.0])  # unconstrained min at (5, 0)
+        res = solve_box_qp(B, g, np.zeros(2), np.ones(2))
+        np.testing.assert_allclose(res.x, [1.0, 0.0], atol=1e-8)
+
+    def test_correlated_hessian(self):
+        B = np.array([[2.0, 0.8], [0.8, 1.0]])
+        g = np.array([-1.0, -1.0])
+        lo, hi = np.full(2, -10.0), np.full(2, 10.0)
+        res = solve_box_qp(B, g, lo, hi)
+        np.testing.assert_allclose(res.x, np.linalg.solve(B, -g), atol=1e-6)
+
+    def test_value_reported(self):
+        B = np.eye(1)
+        g = np.array([-1.0])
+        res = solve_box_qp(B, g, np.array([-2.0]), np.array([2.0]))
+        assert res.value == pytest.approx(-0.5)
+
+    def test_infeasible_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            solve_box_qp(np.eye(1), np.zeros(1), np.array([1.0]), np.array([0.0]))
+
+    def test_bad_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            solve_box_qp(np.eye(3), np.zeros(2), np.zeros(2), np.ones(2))
+
+    @given(seed=st.integers(0, 50))
+    @settings(max_examples=25, deadline=None)
+    def test_property_beats_random_feasible_points(self, seed):
+        """The returned minimiser is no worse than random feasible probes."""
+        rng = np.random.default_rng(seed)
+        n = 4
+        A = rng.normal(size=(n, n))
+        B = A @ A.T + 0.5 * np.eye(n)
+        g = rng.normal(size=n)
+        lo = -rng.random(n)
+        hi = rng.random(n)
+        res = solve_box_qp(B, g, lo, hi)
+        assert np.all(res.x >= lo - 1e-10) and np.all(res.x <= hi + 1e-10)
+        for _ in range(30):
+            z = lo + rng.random(n) * (hi - lo)
+            val = 0.5 * z @ B @ z + g @ z
+            assert res.value <= val + 1e-8
+
+
+class TestProjectedArmijo:
+    @staticmethod
+    def quad(x):
+        return float(np.sum((x - 1.0) ** 2))
+
+    def test_accepts_descent_step(self):
+        x = np.zeros(2)
+        g = 2 * (x - 1.0)
+        x_new, f_new, alpha, evals = projected_armijo(
+            self.quad, x, -g, self.quad(x), g,
+            np.full(2, -5.0), np.full(2, 5.0),
+        )
+        assert f_new < self.quad(x)
+        assert alpha > 0
+        assert evals >= 1
+
+    def test_projection_respected(self):
+        x = np.zeros(2)
+        g = np.array([-10.0, -10.0])  # direction +10 toward bound at 0.5
+        x_new, _, _, _ = projected_armijo(
+            self.quad, x, -g, self.quad(x), g,
+            np.full(2, 0.0), np.full(2, 0.5),
+        )
+        assert np.all(x_new <= 0.5 + 1e-12)
+
+    def test_no_movement_returns_origin(self):
+        x = np.ones(2)  # already the minimiser
+        g = np.zeros(2)
+        x_new, f_new, alpha, _ = projected_armijo(
+            self.quad, x, np.zeros(2), self.quad(x), g,
+            np.full(2, -5.0), np.full(2, 5.0),
+        )
+        np.testing.assert_allclose(x_new, x)
+        assert alpha == 0.0
+
+    def test_bad_shrink_rejected(self):
+        with pytest.raises(ValueError):
+            projected_armijo(self.quad, np.zeros(1), np.ones(1), 0.0,
+                             np.zeros(1), np.zeros(1), np.ones(1), shrink=1.5)

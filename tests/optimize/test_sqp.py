@@ -1,0 +1,127 @@
+"""Tests for the box-constrained SQP maximiser (both Hessian modes)."""
+
+import numpy as np
+import pytest
+
+from repro.optimize import SqpOptimizer, projected_gradient_norm
+
+
+def neg_quadratic(center):
+    """Concave bowl with maximum at ``center``."""
+    center = np.asarray(center, dtype=float)
+
+    def fun(x):
+        d = x - center
+        return float(-np.sum(d * d)), -2 * d
+
+    return fun
+
+
+def neg_rosenbrock(x):
+    a, b = x[0], x[1]
+    value = -((1 - a) ** 2 + 100.0 * (b - a**2) ** 2)
+    grad = np.array([
+        2 * (1 - a) + 400.0 * a * (b - a**2),
+        -200.0 * (b - a**2),
+    ])
+    return float(value), grad
+
+
+@pytest.mark.parametrize("hessian", ["lbfgs", "dense"])
+class TestBothModes:
+    def test_interior_maximum(self, hessian):
+        opt = SqpOptimizer(hessian=hessian, tol=1e-8, max_iter=100)
+        res = opt.maximize(neg_quadratic([0.3, -0.2]), np.zeros(2),
+                           np.full(2, -1.0), np.full(2, 1.0))
+        assert res.converged
+        np.testing.assert_allclose(res.x, [0.3, -0.2], atol=1e-6)
+
+    def test_maximum_on_boundary(self, hessian):
+        opt = SqpOptimizer(hessian=hessian, tol=1e-8, max_iter=100)
+        res = opt.maximize(neg_quadratic([2.0, 0.0]), np.zeros(2),
+                           np.full(2, -1.0), np.full(2, 1.0))
+        np.testing.assert_allclose(res.x, [1.0, 0.0], atol=1e-6)
+
+    def test_rosenbrock(self, hessian):
+        opt = SqpOptimizer(hessian=hessian, tol=1e-6, max_iter=400)
+        res = opt.maximize(neg_rosenbrock, np.array([-0.5, 0.5]),
+                           np.full(2, -2.0), np.full(2, 2.0))
+        np.testing.assert_allclose(res.x, [1.0, 1.0], atol=1e-3)
+
+    def test_history_monotone_nondecreasing(self, hessian):
+        opt = SqpOptimizer(hessian=hessian, max_iter=50)
+        res = opt.maximize(neg_rosenbrock, np.array([-1.0, -1.0]),
+                           np.full(2, -2.0), np.full(2, 2.0))
+        diffs = np.diff(res.history)
+        assert np.all(diffs >= -1e-12)
+
+    def test_start_outside_box_clipped(self, hessian):
+        opt = SqpOptimizer(hessian=hessian)
+        res = opt.maximize(neg_quadratic([0.0, 0.0]), np.array([10.0, -10.0]),
+                           np.full(2, -1.0), np.full(2, 1.0))
+        assert np.all(res.x >= -1.0) and np.all(res.x <= 1.0)
+
+    def test_shaped_input_preserved(self, hessian):
+        center = np.arange(6.0).reshape(2, 3) / 10.0
+
+        def fun(x):
+            d = x - center
+            return float(-np.sum(d * d)), -2 * d
+
+        opt = SqpOptimizer(hessian=hessian, tol=1e-8)
+        res = opt.maximize(fun, np.zeros((2, 3)), np.zeros((2, 3)),
+                           np.ones((2, 3)))
+        assert res.x.shape == (2, 3)
+        np.testing.assert_allclose(res.x, center, atol=1e-5)
+
+
+class TestScalableMode:
+    def test_high_dimensional(self):
+        n = 500
+        rng = np.random.default_rng(0)
+        center = rng.random(n)
+        opt = SqpOptimizer(hessian="lbfgs", tol=1e-8, max_iter=200)
+        res = opt.maximize(neg_quadratic(center), np.zeros(n),
+                           np.zeros(n), np.ones(n))
+        np.testing.assert_allclose(res.x, center, atol=1e-5)
+
+    def test_evaluation_count_tracked(self):
+        opt = SqpOptimizer(max_iter=10)
+        res = opt.maximize(neg_quadratic([0.5]), np.zeros(1),
+                           np.zeros(1), np.ones(1))
+        assert res.evaluations >= res.iterations
+
+    def test_degenerate_dimension_fixed(self):
+        """A window with zero slack (lower == upper) must stay pinned."""
+        fun = neg_quadratic([0.5, 0.9])
+        opt = SqpOptimizer(tol=1e-10)
+        lo = np.array([0.0, 0.3])
+        hi = np.array([1.0, 0.3])
+        res = opt.maximize(fun, np.array([0.0, 0.3]), lo, hi)
+        assert res.x[1] == pytest.approx(0.3)
+        assert res.x[0] == pytest.approx(0.5, abs=1e-6)
+
+
+class TestValidation:
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            SqpOptimizer(hessian="newton")
+
+    def test_invalid_iterations(self):
+        with pytest.raises(ValueError):
+            SqpOptimizer(max_iter=0)
+
+    def test_infeasible_box(self):
+        opt = SqpOptimizer()
+        with pytest.raises(ValueError):
+            opt.maximize(neg_quadratic([0.0]), np.zeros(1),
+                         np.ones(1), np.zeros(1))
+
+    def test_projected_gradient_norm(self):
+        x = np.array([0.0, 0.5, 1.0])
+        g = np.array([-1.0, 0.2, 1.0])  # ascent gradient
+        lo, hi = np.zeros(3), np.ones(3)
+        # x0 at lower bound with negative gradient: projected step 0.
+        # x2 at upper bound with positive gradient: projected step 0.
+        assert projected_gradient_norm(x, g, lo, hi) == pytest.approx(0.2)
+        assert projected_gradient_norm(x, np.zeros(3), lo, hi) == 0.0

@@ -1,0 +1,71 @@
+"""Tests for the SQP value-only line-search oracle (fun_value)."""
+
+import numpy as np
+import pytest
+
+from repro.optimize import SqpOptimizer
+
+
+class CountingOracle:
+    """Concave quadratic with separate gradient/value call counters."""
+
+    def __init__(self, center):
+        self.center = np.asarray(center, dtype=float)
+        self.grad_calls = 0
+        self.value_calls = 0
+
+    def value_and_grad(self, x):
+        self.grad_calls += 1
+        d = x - self.center
+        return float(-np.sum(d * d)), -2 * d
+
+    def value(self, x):
+        self.value_calls += 1
+        d = x - self.center
+        return float(-np.sum(d * d))
+
+
+class TestFunValue:
+    def test_line_search_uses_cheap_oracle(self):
+        oracle = CountingOracle([0.4, 0.6])
+        opt = SqpOptimizer(max_iter=50, tol=1e-10)
+        res = opt.maximize(oracle.value_and_grad, np.zeros(2),
+                           np.zeros(2), np.ones(2),
+                           fun_value=oracle.value)
+        np.testing.assert_allclose(res.x, [0.4, 0.6], atol=1e-6)
+        assert oracle.value_calls > 0
+        # The expensive oracle is called once per accepted iterate only.
+        assert oracle.grad_calls <= res.iterations + 1
+
+    def test_same_answer_with_and_without(self):
+        a = CountingOracle([0.3, 0.7])
+        b = CountingOracle([0.3, 0.7])
+        opt = SqpOptimizer(max_iter=60, tol=1e-10)
+        res_a = opt.maximize(a.value_and_grad, np.zeros(2), np.zeros(2),
+                             np.ones(2))
+        res_b = opt.maximize(b.value_and_grad, np.zeros(2), np.zeros(2),
+                             np.ones(2), fun_value=b.value)
+        np.testing.assert_allclose(res_a.x, res_b.x, atol=1e-8)
+
+    def test_evaluations_counter_includes_both(self):
+        oracle = CountingOracle([0.5])
+        opt = SqpOptimizer(max_iter=20, tol=1e-10)
+        res = opt.maximize(oracle.value_and_grad, np.zeros(1), np.zeros(1),
+                           np.ones(1), fun_value=oracle.value)
+        assert res.evaluations == oracle.grad_calls + oracle.value_calls
+
+
+class TestFirstStepScaling:
+    @pytest.mark.parametrize("scale", [1e-7, 1.0, 1e5])
+    def test_converges_regardless_of_gradient_scale(self, scale):
+        """Score-style objectives have arbitrary gradient magnitudes; the
+        first trial displacement must be span-relative, not |g|-relative."""
+        center = np.array([0.25, 0.75])
+
+        def fun(x):
+            d = x - center
+            return float(-scale * np.sum(d * d)), -2 * scale * d
+
+        opt = SqpOptimizer(max_iter=120, tol=1e-12 * scale)
+        res = opt.maximize(fun, np.zeros(2), np.zeros(2), np.ones(2))
+        np.testing.assert_allclose(res.x, center, atol=1e-4)

@@ -1,0 +1,99 @@
+"""Tests for the differentiable extraction layer."""
+
+import numpy as np
+import pytest
+
+from repro.layout import apply_fill, make_design_a
+from repro.nn import Tensor
+from repro.surrogate import (
+    NUM_FEATURE_CHANNELS,
+    ExtractionConstants,
+    extract_parameter_matrix,
+    extract_parameter_matrix_numpy,
+)
+from repro.surrogate.extraction import DEPTH_SCALE, PERIMETER_SCALE, WIDTH_SCALE
+
+from ..nn.gradcheck import check_grad
+
+
+@pytest.fixture
+def layout():
+    return make_design_a(rows=8, cols=8)
+
+
+@pytest.fixture
+def consts(layout):
+    return ExtractionConstants.from_layout(layout)
+
+
+class TestForward:
+    def test_output_shape(self, layout, consts):
+        fill = Tensor(np.zeros(layout.shape))
+        out = extract_parameter_matrix(fill, consts)
+        L, N, M = layout.shape
+        assert out.shape == (L, NUM_FEATURE_CHANNELS, N, M)
+
+    def test_matches_apply_fill(self, layout, consts):
+        """The autodiff extraction must agree with the reference
+        numpy feature update in repro.layout.layout.apply_fill."""
+        rng = np.random.default_rng(0)
+        fill = rng.random(layout.shape) * layout.slack_stack()
+        out = extract_parameter_matrix_numpy(fill, consts)
+        ref = apply_fill(layout, fill)
+        np.testing.assert_allclose(out[:, 0], ref.density, rtol=1e-10)
+        np.testing.assert_allclose(out[:, 1] * PERIMETER_SCALE, ref.perimeter, rtol=1e-10)
+        np.testing.assert_allclose(out[:, 2] * WIDTH_SCALE, ref.wire_width, rtol=1e-6)
+        np.testing.assert_allclose(out[:, 3] * DEPTH_SCALE, ref.trench_depth, rtol=1e-10)
+
+    def test_zero_fill_reproduces_layout(self, layout, consts):
+        out = extract_parameter_matrix_numpy(np.zeros(layout.shape), consts)
+        np.testing.assert_allclose(out[:, 0], layout.density_stack(), rtol=1e-10)
+        np.testing.assert_allclose(out[:, 2] * WIDTH_SCALE, layout.width_stack(),
+                                   rtol=1e-6)
+
+    def test_empty_window_width_finite(self):
+        lay = make_design_a(rows=4, cols=4)
+        lay.layers[0].density[:, :] = 0.0
+        lay.layers[0].wire_perimeter[:, :] = 0.0
+        consts = ExtractionConstants.from_layout(lay)
+        out = extract_parameter_matrix_numpy(np.zeros(lay.shape), consts)
+        assert np.all(np.isfinite(out))
+        np.testing.assert_allclose(out[0, 2] * WIDTH_SCALE,
+                                   lay.layers[0].wire_width, rtol=1e-6)
+
+    def test_shape_mismatch_rejected(self, consts):
+        with pytest.raises(ValueError):
+            extract_parameter_matrix(Tensor(np.zeros((1, 2, 2))), consts)
+
+
+class TestGradient:
+    def test_density_gradient_is_inverse_area(self, layout, consts):
+        fill = Tensor(np.zeros(layout.shape), requires_grad=True)
+        out = extract_parameter_matrix(fill, consts)
+        out[:, 0].sum().backward()
+        np.testing.assert_allclose(
+            fill.grad, np.full(layout.shape, 1.0 / layout.grid.window_area)
+        )
+
+    def test_full_matrix_gradcheck(self, layout, consts):
+        rng = np.random.default_rng(1)
+        base = rng.random(layout.shape) * layout.slack_stack() * 0.5
+        # Small slice for FD affordability.
+        small = base[:, :3, :3]
+        small_consts = ExtractionConstants(
+            density=consts.density[:, :3, :3],
+            perimeter=consts.perimeter[:, :3, :3],
+            wire_width=consts.wire_width[:, :3, :3],
+            trench_depth=consts.trench_depth[:, :3, :3],
+            window_area=consts.window_area,
+        )
+        check_grad(
+            lambda t: extract_parameter_matrix(t, small_consts),
+            small, eps=1e-3, rtol=1e-4, atol=1e-8,
+        )
+
+    def test_trench_channel_has_zero_gradient(self, layout, consts):
+        fill = Tensor(np.zeros(layout.shape), requires_grad=True)
+        out = extract_parameter_matrix(fill, consts)
+        out[:, 3].sum().backward()
+        np.testing.assert_allclose(fill.grad, 0.0)

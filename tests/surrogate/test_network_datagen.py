@@ -1,0 +1,206 @@
+"""Tests for the CMP neural network pipeline, dataset and training."""
+
+import numpy as np
+import pytest
+
+from repro.cmp import CmpSimulator
+from repro.layout import make_design_a, make_design_b
+from repro.nn import UNet
+from repro.surrogate import (
+    NUM_FEATURE_CHANNELS,
+    CmpNeuralNetwork,
+    HeightNormalizer,
+    PlanarityWeights,
+    TrainConfig,
+    build_dataset,
+    evaluate_accuracy,
+    pretrain_surrogate,
+    train_unet,
+)
+
+
+@pytest.fixture(scope="module")
+def small_sources():
+    return [make_design_a(rows=10, cols=10), make_design_b(rows=10, cols=10)]
+
+
+@pytest.fixture(scope="module")
+def dataset(small_sources):
+    return build_dataset(small_sources, count=6, rows=8, cols=8, seed=0)
+
+
+@pytest.fixture(scope="module")
+def trained(small_sources, dataset):
+    unet = UNet(in_channels=NUM_FEATURE_CHANNELS, out_channels=1,
+                base_channels=4, depth=1, rng=0)
+    history = train_unet(unet, dataset, TrainConfig(epochs=5, batch_size=4))
+    return unet, history
+
+
+class TestHeightNormalizer:
+    def test_roundtrip(self):
+        norm = HeightNormalizer(mean=10.0, std=2.0)
+        x = np.array([8.0, 12.0])
+        np.testing.assert_allclose(norm.denormalize_array(norm.normalize(x)), x)
+
+    def test_fit(self):
+        data = np.array([1.0, 3.0])
+        norm = HeightNormalizer.fit(data)
+        assert norm.mean == 2.0
+        assert norm.std == 1.0
+
+    def test_fit_constant_data(self):
+        norm = HeightNormalizer.fit(np.full(5, 7.0))
+        assert norm.std == 1.0  # degenerate guarded
+
+    def test_dict_roundtrip(self):
+        norm = HeightNormalizer(3.0, 1.5)
+        assert HeightNormalizer.from_dict(norm.to_dict()) == norm
+
+    def test_invalid_std(self):
+        with pytest.raises(ValueError):
+            HeightNormalizer(0.0, 0.0)
+
+
+class TestDataset:
+    def test_shapes(self, dataset):
+        n = len(dataset)
+        assert n == 6
+        assert dataset.inputs.shape == (6, 3, NUM_FEATURE_CHANNELS, 8, 8)
+        assert dataset.targets.shape == (6, 3, 1, 8, 8)
+        assert dataset.flat_inputs().shape == (18, NUM_FEATURE_CHANNELS, 8, 8)
+
+    def test_targets_normalised(self, dataset):
+        assert abs(dataset.targets.mean()) < 0.2
+        assert dataset.targets.std() == pytest.approx(1.0, rel=0.2)
+
+    def test_split(self, dataset):
+        train, test = dataset.split(test_fraction=0.3, seed=1)
+        assert len(train) + len(test) == len(dataset)
+        assert len(test) >= 1
+        assert train.normalizer is dataset.normalizer
+
+    def test_split_bad_fraction(self, dataset):
+        with pytest.raises(ValueError):
+            dataset.split(test_fraction=0.0)
+
+    def test_reused_normalizer(self, small_sources, dataset):
+        other = build_dataset(small_sources, count=2, rows=8, cols=8, seed=9,
+                              normalizer=dataset.normalizer)
+        assert other.normalizer is dataset.normalizer
+
+    def test_count_positive(self, small_sources):
+        with pytest.raises(ValueError):
+            build_dataset(small_sources, count=0, rows=8, cols=8)
+
+    def test_deterministic(self, small_sources):
+        d1 = build_dataset(small_sources, count=2, rows=8, cols=8, seed=3)
+        d2 = build_dataset(small_sources, count=2, rows=8, cols=8, seed=3)
+        np.testing.assert_array_equal(d1.inputs, d2.inputs)
+        np.testing.assert_array_equal(d1.targets, d2.targets)
+
+
+class TestTraining:
+    def test_loss_decreases(self, trained):
+        _, history = trained
+        assert history.losses[-1] < history.losses[0]
+        assert history.final_loss == history.losses[-1]
+
+    def test_accuracy_report(self, trained, dataset):
+        unet, _ = trained
+        report = evaluate_accuracy(unet, dataset)
+        assert 0.0 <= report.mean_relative_error < 0.5
+        assert report.max_window_relative_error >= report.mean_relative_error
+        assert report.per_window_error.shape == (8, 8)
+
+    def test_error_histogram_and_fraction(self, trained, dataset):
+        unet, _ = trained
+        report = evaluate_accuracy(unet, dataset)
+        counts, edges = report.error_histogram(bins=10)
+        assert counts.sum() == 64
+        assert report.fraction_below(np.inf) == 1.0
+        assert report.fraction_below(0.0) == 0.0
+
+    def test_invalid_config(self, dataset):
+        unet = UNet(in_channels=NUM_FEATURE_CHANNELS, base_channels=2, depth=1, rng=0)
+        with pytest.raises(ValueError):
+            train_unet(unet, dataset, TrainConfig(epochs=0))
+
+
+class TestCmpNeuralNetwork:
+    def test_evaluate_returns_gradient(self, small_sources, trained, dataset):
+        unet, _ = trained
+        layout = make_design_a(rows=8, cols=8)
+        net = CmpNeuralNetwork(layout, unet, dataset.normalizer)
+        w = PlanarityWeights(0.2, 100.0, 0.2, 1000.0, 0.15, 10.0)
+        ev = net.evaluate(np.zeros(layout.shape), w)
+        assert ev.gradient is not None
+        assert ev.gradient.shape == layout.shape
+        assert np.all(np.isfinite(ev.gradient))
+        assert ev.heights.shape == layout.shape
+
+    def test_forward_only(self, trained, dataset):
+        unet, _ = trained
+        layout = make_design_a(rows=8, cols=8)
+        net = CmpNeuralNetwork(layout, unet, dataset.normalizer)
+        w = PlanarityWeights(0.2, 100.0, 0.2, 1000.0, 0.15, 10.0)
+        ev = net.evaluate(np.zeros(layout.shape), w, want_grad=False)
+        assert ev.gradient is None
+
+    def test_gradient_matches_finite_difference(self, trained, dataset):
+        """The headline claim: backprop == numerical gradient (through the
+        same network), at a fraction of the cost."""
+        unet, _ = trained
+        layout = make_design_a(rows=8, cols=8)
+        net = CmpNeuralNetwork(layout, unet, dataset.normalizer)
+        w = PlanarityWeights(0.2, 100.0, 0.2, 1000.0, 0.15, 10.0)
+        x0 = 0.3 * layout.slack_stack()
+        ev = net.evaluate(x0, w)
+        rng = np.random.default_rng(0)
+        flat = np.array([rng.integers(0, x0.size) for _ in range(4)])
+        eps = 1.0
+        for k in flat:
+            probe = x0.ravel().copy()
+            probe[k] += eps
+            hi = net.evaluate(probe.reshape(x0.shape), w, want_grad=False).s_plan
+            probe[k] -= 2 * eps
+            lo = net.evaluate(probe.reshape(x0.shape), w, want_grad=False).s_plan
+            fd = (hi - lo) / (2 * eps)
+            assert ev.gradient.ravel()[k] == pytest.approx(fd, rel=1e-3, abs=1e-9)
+
+    def test_predict_heights_default_zero_fill(self, trained, dataset):
+        unet, _ = trained
+        layout = make_design_a(rows=8, cols=8)
+        net = CmpNeuralNetwork(layout, unet, dataset.normalizer)
+        h0 = net.predict_heights()
+        h1 = net.predict_heights(np.zeros(layout.shape))
+        np.testing.assert_allclose(h0, h1)
+
+
+class TestPretrainPipeline:
+    def test_pretrain_surrogate_accuracy(self, small_sources):
+        layout = make_design_a(rows=8, cols=8)
+        net, history, report = pretrain_surrogate(
+            small_sources, layout, sample_count=8, tile_rows=8, tile_cols=8,
+            base_channels=4, depth=1, config=TrainConfig(epochs=8, batch_size=4),
+            seed=1,
+        )
+        assert history.losses[-1] < history.losses[0]
+        # Loose bound: a briefly-trained surrogate should still be within
+        # a few percent of the simulator on its own distribution.
+        assert report.mean_relative_error < 0.10
+
+    def test_extension_ability_protocol(self, small_sources):
+        """Paper SS V-A: train on two designs, test on a third."""
+        sim = CmpSimulator()
+        train_set = build_dataset(small_sources, count=6, rows=8, cols=8,
+                                  simulator=sim, seed=0)
+        third = make_design_a(rows=10, cols=10, seed=99)
+        ext_set = build_dataset([third], count=3, rows=8, cols=8,
+                                simulator=sim, seed=1,
+                                normalizer=train_set.normalizer)
+        unet = UNet(in_channels=NUM_FEATURE_CHANNELS, base_channels=4,
+                    depth=1, rng=0)
+        train_unet(unet, train_set, TrainConfig(epochs=5, batch_size=4))
+        report = evaluate_accuracy(unet, ext_set)
+        assert np.isfinite(report.mean_relative_error)

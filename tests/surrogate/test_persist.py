@@ -1,0 +1,46 @@
+"""Tests for surrogate checkpointing (save/load + rebinding)."""
+
+import numpy as np
+import pytest
+
+from repro.layout import make_design_a, make_design_b
+from repro.surrogate import PlanarityWeights, load_surrogate, save_surrogate
+
+
+class TestSurrogatePersistence:
+    def test_roundtrip_predictions_identical(self, trained_surrogate, tmp_path,
+                                             small_layout):
+        net = trained_surrogate
+        save_surrogate(tmp_path / "ckpt", net.unet, net.normalizer,
+                       base_channels=6, depth=2)
+        back = load_surrogate(tmp_path / "ckpt", small_layout)
+        fill = 0.4 * small_layout.slack_stack()
+        np.testing.assert_allclose(
+            back.predict_heights(fill), net.predict_heights(fill)
+        )
+
+    def test_rebind_to_other_layout(self, trained_surrogate, tmp_path):
+        """Fully convolutional: a checkpoint binds to any layout size."""
+        net = trained_surrogate
+        save_surrogate(tmp_path / "ckpt", net.unet, net.normalizer,
+                       base_channels=6, depth=2)
+        other = make_design_b(rows=12, cols=14)
+        back = load_surrogate(tmp_path / "ckpt", other)
+        heights = back.predict_heights()
+        assert heights.shape == other.shape
+        assert np.all(np.isfinite(heights))
+
+    def test_evaluate_after_reload(self, trained_surrogate, tmp_path):
+        net = trained_surrogate
+        save_surrogate(tmp_path / "ckpt", net.unet, net.normalizer,
+                       base_channels=6, depth=2)
+        layout = make_design_a(rows=8, cols=8)
+        back = load_surrogate(tmp_path / "ckpt", layout)
+        w = PlanarityWeights(0.2, 1e4, 0.2, 1e5, 0.15, 100.0)
+        ev = back.evaluate(np.zeros(layout.shape), w)
+        assert np.isfinite(ev.s_plan)
+        assert ev.gradient.shape == layout.shape
+
+    def test_missing_checkpoint_raises(self, tmp_path, small_layout):
+        with pytest.raises(FileNotFoundError):
+            load_surrogate(tmp_path / "nope", small_layout)

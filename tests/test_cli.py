@@ -1,0 +1,85 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.insertion import load_shapes
+from repro.layout import load_layout
+
+
+@pytest.fixture()
+def design_file(tmp_path):
+    path = tmp_path / "a.json"
+    rc = main(["gen-design", "A", "--rows", "8", "--cols", "8",
+               "--seed", "3", "-o", str(path)])
+    assert rc == 0
+    return path
+
+
+class TestGenDesign:
+    def test_writes_layout(self, design_file):
+        layout = load_layout(design_file)
+        assert layout.grid.shape == (8, 8)
+        assert layout.num_layers == 3
+
+    def test_all_designs(self, tmp_path):
+        for key in ("A", "B", "C"):
+            out = tmp_path / f"{key}.json"
+            assert main(["gen-design", key, "--rows", "8", "--cols", "8",
+                         "-o", str(out)]) == 0
+            assert out.exists()
+
+    def test_default_size(self, tmp_path):
+        out = tmp_path / "a.json"
+        assert main(["gen-design", "A", "-o", str(out)]) == 0
+        assert load_layout(out).grid.rows >= 8
+
+
+class TestSimulate:
+    def test_prints_metrics(self, design_file, capsys):
+        assert main(["simulate", str(design_file)]) == 0
+        out = capsys.readouterr().out
+        assert "post-CMP dH" in out
+        assert "height variance" in out
+
+    def test_polish_time_override(self, design_file, capsys):
+        assert main(["simulate", str(design_file),
+                     "--polish-time", "10"]) == 0
+        assert "post-CMP dH" in capsys.readouterr().out
+
+
+class TestFill:
+    def test_lin_with_outputs(self, design_file, tmp_path, capsys):
+        fill_out = tmp_path / "fill.npz"
+        shapes_out = tmp_path / "shapes.json"
+        rc = main(["fill", str(design_file), "--method", "lin",
+                   "--fill-out", str(fill_out),
+                   "--shapes-out", str(shapes_out)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "simulator verdict" in out
+        fill = np.load(fill_out)["fill"]
+        assert fill.shape == (3, 8, 8)
+        shapes = load_shapes(shapes_out)
+        assert len(shapes) > 0
+
+    def test_tao(self, design_file, capsys):
+        assert main(["fill", str(design_file), "--method", "tao"]) == 0
+        assert "quality" in capsys.readouterr().out
+
+    def test_neurfill_pkb_small_budget(self, design_file, capsys):
+        rc = main(["fill", str(design_file), "--method", "neurfill-pkb",
+                   "--train-samples", "8", "--train-epochs", "4"])
+        assert rc == 0
+        assert "neurfill-pkb" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_method_errors(self, design_file):
+        with pytest.raises(SystemExit):
+            main(["fill", str(design_file), "--method", "magic"])

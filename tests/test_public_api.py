@@ -1,0 +1,41 @@
+"""Smoke tests for the top-level public API surface."""
+
+import numpy as np
+
+
+def test_top_level_imports():
+    import repro
+
+    assert repro.__version__
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None, name
+
+
+def test_subpackage_all_exports_resolve():
+    import repro.baselines
+    import repro.cmp
+    import repro.core
+    import repro.evaluation
+    import repro.layout
+    import repro.nn
+    import repro.optimize
+    import repro.surrogate
+
+    for module in (repro.cmp, repro.core, repro.evaluation, repro.layout,
+                   repro.nn, repro.optimize, repro.surrogate,
+                   repro.baselines):
+        for name in module.__all__:
+            assert getattr(module, name) is not None, f"{module.__name__}.{name}"
+
+
+def test_readme_style_flow(simulator, small_layout, small_problem,
+                           trained_surrogate):
+    """The README code path works end to end."""
+    from repro import NeurFill, evaluate_solution
+
+    neurfill = NeurFill(small_problem, trained_surrogate, simulator=simulator)
+    result = neurfill.run_pkb(num_candidates=3)
+    score = evaluate_solution(small_problem, result.fill, "neurfill", simulator)
+    assert 0.0 <= score.quality <= 1.0
+    assert 0.0 <= score.overall <= 1.0
+    assert np.all(result.fill >= 0)

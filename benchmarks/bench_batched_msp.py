@@ -1,0 +1,129 @@
+"""Batched multi-start refinement and parallel datagen speedups.
+
+Two perf levers, both guaranteed result-identical to their serial
+counterparts (see DESIGN.md "Batching and parallelism"):
+
+* MSP-SQP with K starts — sequential start-by-start loop vs the lockstep
+  broker that services every round with one stacked network pass.
+* Teacher-data generation — serial simulation loop vs a process pool.
+
+Results go to ``benchmarks/output/batched_msp.txt`` and, machine-readable,
+to ``BENCH_batched_msp.json`` at the repo root.  Speedups depend on grid
+size and core count (the datagen lever needs >1 core; the batching lever
+amortises per-layer Python overhead and pays off even on one core), so
+the JSON records the measured environment alongside the timings.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from _common import write_output
+from repro.core import FillProblem, QualityModel, ScoreCoefficients, msp_sqp
+from repro.cmp import CmpSimulator
+from repro.layout import make_design_a, make_design_b
+from repro.nn import UNet
+from repro.optimize import SqpOptimizer, random_starting_points_stacked
+from repro.surrogate import (
+    NUM_FEATURE_CHANNELS,
+    CmpNeuralNetwork,
+    HeightNormalizer,
+    build_dataset,
+)
+
+JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_batched_msp.json"
+
+MSP_GRID = 16
+NUM_STARTS = 8
+SQP_ITERS = 6
+DATAGEN_COUNT = 8
+DATAGEN_WORKERS = 4
+
+
+def _timed(fn):
+    t0 = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - t0
+
+
+def test_batched_msp_and_parallel_datagen(benchmark):
+    # Untrained weights time identically to trained ones, so skip the
+    # expensive pretraining and build the setup directly.
+    layout = make_design_a(rows=MSP_GRID, cols=MSP_GRID)
+    simulator = CmpSimulator()
+    coeffs = ScoreCoefficients.calibrated(layout, simulator)
+    problem = FillProblem(layout, coeffs)
+    unet = UNet(in_channels=NUM_FEATURE_CHANNELS, out_channels=1,
+                base_channels=8, depth=2, rng=0)
+    network = CmpNeuralNetwork(layout, unet, HeightNormalizer(6000.0, 40.0))
+    starts = random_starting_points_stacked(
+        problem.lower, problem.upper, NUM_STARTS, seed=0
+    )
+    opt = SqpOptimizer(max_iter=SQP_ITERS, tol=1e-12)
+
+    def run(batched):
+        model = QualityModel(problem, network)
+        return msp_sqp(model, starts, opt, batched=batched)
+
+    seq, seq_s = _timed(lambda: run(batched=False))
+    bat, bat_s = benchmark.pedantic(lambda: _timed(lambda: run(batched=True)),
+                                    rounds=1, iterations=1)
+    fill_diff = float(np.max(np.abs(seq.best_fill - bat.best_fill)))
+    msp_speedup = seq_s / bat_s
+
+    sources = [make_design_a(rows=10, cols=10), make_design_b(rows=10, cols=10)]
+    serial, serial_s = _timed(lambda: build_dataset(
+        sources, count=DATAGEN_COUNT, rows=10, cols=10, seed=0))
+    par, par_s = _timed(lambda: build_dataset(
+        sources, count=DATAGEN_COUNT, rows=10, cols=10, seed=0,
+        n_workers=DATAGEN_WORKERS))
+    identical = (serial.inputs.tobytes() == par.inputs.tobytes()
+                 and serial.targets.tobytes() == par.targets.tobytes())
+    datagen_speedup = serial_s / par_s
+
+    report = {
+        "cpu_count": os.cpu_count(),
+        "msp_sqp": {
+            "grid": [MSP_GRID, MSP_GRID],
+            "starts": NUM_STARTS,
+            "sqp_max_iter": SQP_ITERS,
+            "sequential_s": round(seq_s, 4),
+            "batched_s": round(bat_s, 4),
+            "speedup": round(msp_speedup, 2),
+            "best_fill_max_abs_diff": fill_diff,
+            "sequential_evaluations": seq.evaluations,
+            "batched_evaluations": bat.evaluations,
+        },
+        "datagen": {
+            "count": DATAGEN_COUNT,
+            "n_workers": DATAGEN_WORKERS,
+            "serial_s": round(serial_s, 4),
+            "parallel_s": round(par_s, 4),
+            "speedup": round(datagen_speedup, 2),
+            "byte_identical": identical,
+        },
+    }
+    JSON_PATH.write_text(json.dumps(report, indent=2) + "\n")
+
+    text = (
+        f"Batched MSP-SQP ({NUM_STARTS} starts, {MSP_GRID}x{MSP_GRID}, "
+        f"{SQP_ITERS} SQP iters): sequential {seq_s:.2f}s, batched "
+        f"{bat_s:.2f}s — {msp_speedup:.1f}x, "
+        f"best-fill max |diff| {fill_diff:.2e}\n"
+        f"Parallel datagen ({DATAGEN_COUNT} samples, "
+        f"{DATAGEN_WORKERS} workers, {os.cpu_count()} cores): serial "
+        f"{serial_s:.2f}s, parallel {par_s:.2f}s — {datagen_speedup:.1f}x, "
+        f"byte-identical: {identical}"
+    )
+    write_output("batched_msp", text)
+
+    # Correctness is asserted; speedups are recorded, not asserted, since
+    # they depend on the host (core count, BLAS threading).
+    assert identical
+    assert fill_diff < 1e-8
+    assert seq.evaluations == bat.evaluations
+    # Batching amortises per-call overhead even on one core.
+    assert msp_speedup > 1.0

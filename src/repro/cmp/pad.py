@@ -71,8 +71,9 @@ def solve_pressure(
     p0 = params.pressure_psi
     layer_axes = (-2, -1)
 
+    if max_iter < 1:
+        raise ValueError(f"max_iter must be >= 1, got {max_iter}")
     scale = np.array(1.0) if envelope.ndim == 2 else np.ones((envelope.shape[0], 1, 1))
-    pressure = np.maximum(base, 0.0) * p0
     for _ in range(max_iter):
         pressure = np.maximum(base * scale, 0.0) * p0
         mean = pressure.mean(axis=layer_axes, keepdims=True)

@@ -138,7 +138,8 @@ class CmpSimulator:
 
         dt = params.time_step_s
         t = 0.0
-        pressure = np.full(h_up.shape, params.pressure_psi)
+        # num_steps >= 1 (ProcessParams guarantees it), so the loop always
+        # assigns the pressure used by the dishing/erosion terms below.
         for _ in range(params.num_steps):
             pressure = solve_pressure(h_up, self.window_um, params)
             step = h_up - h_down

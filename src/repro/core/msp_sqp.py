@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..optimize.multistart import refine_starting_points_batched
 from ..optimize.sqp import SqpOptimizer, SqpResult
 from ..surrogate.network import CmpNeuralNetwork
 from ..surrogate.objectives import PlanarityBreakdown
@@ -68,6 +69,46 @@ class QualityModel:
             planarity=plan.breakdown, degradation=pd_breakdown,
         )
 
+    def evaluate_many(
+        self, fills: np.ndarray, need_grad: np.ndarray | bool = True,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """K stacked fill vectors through one batched network pass.
+
+        The planarity term runs as a single ``(K * L, C, N, M)`` network
+        forward plus one mask-seeded backward; the analytic degradation
+        term is cheap and stays a per-start loop.  Row ``k`` equals
+        :meth:`evaluate` on ``fills[k]`` — same clipping, same maths —
+        to machine precision (BLAS contraction order may differ with the
+        batch size at the last ulp), so sequential and batched MSP-SQP
+        agree up to floating-point round-off.
+
+        Args:
+            fills: stacked fill vectors ``(K, L, N, M)``.
+            need_grad: bool or ``(K,)`` mask — which rows need gradients.
+
+        Returns:
+            ``(values (K,), gradients (K, L, N, M))``; gradient rows not
+            requested are zero.
+        """
+        fills = np.asarray(fills, dtype=float)
+        if fills.ndim != 4:
+            raise ValueError(f"fills must be (K, L, N, M), got {fills.shape}")
+        K = fills.shape[0]
+        mask = np.broadcast_to(np.asarray(need_grad, dtype=bool), (K,))
+        self.evaluations += K
+        clipped = self.problem.clip(fills)
+        plan = self.network.evaluate_batch(clipped, self.weights, grad_mask=mask)
+        values = np.empty(K)
+        grads = np.zeros_like(fills)
+        for k in range(K):
+            pd_breakdown, pd_grad = self.degradation.evaluate(
+                clipped[k], want_grad=bool(mask[k])
+            )
+            values[k] = plan.s_plan[k] + pd_breakdown.s_pd
+            if mask[k]:
+                grads[k] = plan.gradient[k] + pd_grad
+        return values, grads
+
     # Convenience adapters ------------------------------------------------
     def quality(self, fill: np.ndarray) -> float:
         return self.evaluate(fill, want_grad=False).quality
@@ -89,21 +130,40 @@ class MspSqpOutcome:
 
 def msp_sqp(
     model: QualityModel,
-    starts: list[np.ndarray],
+    starts: list[np.ndarray] | np.ndarray,
     optimizer: SqpOptimizer | None = None,
+    batched: bool = False,
 ) -> MspSqpOutcome:
-    """Refine every starting point with SQP; return the best solution."""
-    if not starts:
+    """Refine every starting point with SQP; return the best solution.
+
+    Args:
+        model: the quality-score evaluator.
+        starts: starting fills (list, or stacked ``(K, L, N, M)`` array).
+        optimizer: SQP configuration.
+        batched: advance all starts in lockstep, one batched network
+            forward/backward per round, instead of looping start by
+            start.  The per-start mathematics is shared, so results
+            match the sequential loop up to floating-point round-off
+            (BLAS batch-size sensitivity, ~1e-11 on the refined fill).
+            Much faster for several starts — the surrogate's batch axis
+            is exactly what makes many starting points cheap.
+    """
+    if len(starts) == 0:
         raise ValueError("MSP-SQP needs at least one starting point")
     optimizer = optimizer or SqpOptimizer()
     lower = model.problem.lower
     upper = model.problem.upper
     before = model.evaluations
-    results = [
-        optimizer.maximize(model.value_and_grad, s, lower, upper,
-                           fun_value=model.quality)
-        for s in starts
-    ]
+    if batched and len(starts) > 1:
+        results = refine_starting_points_batched(
+            model.evaluate_many, starts, lower, upper, optimizer
+        )
+    else:
+        results = [
+            optimizer.maximize(model.value_and_grad, s, lower, upper,
+                               fun_value=model.quality)
+            for s in starts
+        ]
     best = max(results, key=lambda r: r.value)
     return MspSqpOutcome(
         best_fill=best.x, best_quality=best.value, results=results,

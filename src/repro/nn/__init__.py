@@ -21,7 +21,7 @@ from .modules import (
 )
 from .optim import SGD, Adam, CosineLR, LrScheduler, Optimizer, StepLR, clip_grad_norm
 from .serial import load_module, save_module
-from .tensor import Tensor
+from .tensor import Tensor, compute_dtype, get_default_dtype, set_default_dtype
 from .unet import DoubleConv, UNet
 
 __all__ = [
@@ -49,9 +49,11 @@ __all__ = [
     "Upsample2x",
     "avg_pool2d",
     "clip_grad_norm",
+    "compute_dtype",
     "conv2d",
     "conv_transpose2d",
     "functional",
+    "get_default_dtype",
     "kaiming_normal",
     "l1_loss",
     "load_module",
@@ -59,6 +61,7 @@ __all__ = [
     "mse_loss",
     "relative_l2_loss",
     "save_module",
+    "set_default_dtype",
     "upsample2x",
     "xavier_uniform",
 ]

@@ -18,6 +18,28 @@ def _check_4d(x: Tensor, name: str) -> None:
         raise ValueError(f"{name} must be 4-D (B, C, H, W), got shape {x.shape}")
 
 
+def _dilate_pad_windows(values: Array, kh: int, kw: int, stride: int) -> Array:
+    """Windows of the stride-dilated, (k-1)-padded map — the shared core of
+    every scatter-style conv adjoint/forward.
+
+    Inserting ``stride - 1`` zeros between entries and padding by the
+    kernel size minus one turns a strided scatter into a dense gather:
+    correlating the result with the spatially flipped kernel reproduces
+    ``out[p] += values[h] * W[i]`` for every ``p = h * stride + i`` in one
+    einsum instead of a ``kh * kw`` Python loop.
+    """
+    if stride == 1:
+        dilated = values
+    else:
+        B, C, H, W = values.shape
+        dilated = np.zeros(
+            (B, C, (H - 1) * stride + 1, (W - 1) * stride + 1), dtype=values.dtype
+        )
+        dilated[:, :, ::stride, ::stride] = values
+    padded = np.pad(dilated, ((0, 0), (0, 0), (kh - 1, kh - 1), (kw - 1, kw - 1)))
+    return sliding_window_view(padded, (kh, kw), axis=(2, 3))
+
+
 def conv2d(
     x: Tensor,
     weight: Tensor,
@@ -54,14 +76,20 @@ def conv2d(
                 np.einsum("bohw,bchwij->ocij", grad, windows, optimize=True)
             )
         if x.requires_grad:
-            gxp = np.zeros_like(xp)
-            for i in range(kh):
-                for j in range(kw):
-                    contribution = np.einsum(
-                        "bohw,oc->bchw", grad, weight.data[:, :, i, j], optimize=True
-                    )
-                    gxp[:, :, i : i + Ho * stride : stride,
-                        j : j + Wo * stride : stride] += contribution
+            # Input gradient as a full correlation of the dilated upstream
+            # gradient with the flipped kernel (no kh*kw Python loop).
+            gwin = _dilate_pad_windows(grad, kh, kw, stride)
+            gfull = np.einsum(
+                "bohwij,ocij->bchw", gwin, weight.data[:, :, ::-1, ::-1],
+                optimize=True,
+            )
+            if gfull.shape == xp.shape:
+                gxp = gfull
+            else:
+                # Trailing rows/cols of the padded input that no window
+                # covers (when (H - kh) % stride != 0) get zero gradient.
+                gxp = np.zeros_like(xp)
+                gxp[:, :, : gfull.shape[2], : gfull.shape[3]] = gfull
             if padding:
                 gxp = gxp[:, :, padding:-padding or None, padding:-padding or None]
             x._accumulate(gxp)
@@ -87,17 +115,12 @@ def conv_transpose2d(
     if Cw != C:
         raise ValueError(f"channel mismatch: input {C}, weight expects {Cw}")
 
-    Ho = (H - 1) * stride + kh
-    Wo = (W - 1) * stride + kw
-    out_data = np.zeros((B, O, Ho, Wo))
-    for i in range(kh):
-        for j in range(kw):
-            out_data[:, :, i : i + (H - 1) * stride + 1 : stride,
-                     j : j + (W - 1) * stride + 1 : stride] += np.einsum(
-                "bchw,co->bohw", x.data, weight.data[:, :, i, j], optimize=True
-            )
+    xwin = _dilate_pad_windows(x.data, kh, kw, stride)
+    out_data = np.einsum(
+        "bchwij,coij->bohw", xwin, weight.data[:, :, ::-1, ::-1], optimize=True
+    )
     if bias is not None:
-        out_data += bias.data[None, :, None, None]
+        out_data = out_data + bias.data[None, :, None, None]
 
     parents = (x, weight) if bias is None else (x, weight, bias)
     out = Tensor(out_data, _parents=parents)

@@ -1,8 +1,14 @@
 """Optimization substrate: box QP, SQP, NMMSO, multi-start helpers."""
 
 from .boxqp import BoxQpResult, solve_box_qp
-from .linesearch import projected_armijo
-from .multistart import best_result, random_starting_points, refine_starting_points
+from .linesearch import projected_armijo, projected_armijo_steps
+from .multistart import (
+    best_result,
+    random_starting_points,
+    random_starting_points_stacked,
+    refine_starting_points,
+    refine_starting_points_batched,
+)
 from .nmmso import LocalOptimum, Nmmso, NmmsoResult
 from .sqp import SqpOptimizer, SqpResult, projected_gradient_norm
 
@@ -15,8 +21,11 @@ __all__ = [
     "SqpResult",
     "best_result",
     "projected_armijo",
+    "projected_armijo_steps",
     "projected_gradient_norm",
     "random_starting_points",
+    "random_starting_points_stacked",
     "refine_starting_points",
+    "refine_starting_points_batched",
     "solve_box_qp",
 ]

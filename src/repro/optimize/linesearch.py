@@ -1,10 +1,84 @@
-"""Backtracking Armijo line search along a projected path."""
+"""Backtracking Armijo line search along a projected path.
+
+Two entry points share one implementation:
+
+* :func:`projected_armijo` — classic callable form: give it an objective
+  and it evaluates trial points itself.
+* :func:`projected_armijo_steps` — inverted-control generator form: it
+  *yields* each trial point and is *sent* the objective value back.  This
+  lets an outer driver decide how evaluations happen — in particular the
+  lockstep multi-start broker batches the trial points of many concurrent
+  line searches into one network forward pass (see
+  :func:`repro.optimize.multistart.refine_starting_points_batched`).
+
+Both produce bit-identical iterates for the same inputs: the callable
+form is a thin driver over the generator.
+"""
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Generator
 
 import numpy as np
+
+#: Generator protocol: yields trial points, receives objective values,
+#: returns ``(x_new, f_new, alpha, n_evals)``.
+ArmijoSteps = Generator[np.ndarray, float, tuple[np.ndarray, float, float, int]]
+
+
+def projected_armijo_steps(
+    x: np.ndarray,
+    direction: np.ndarray,
+    f0: float,
+    g0: np.ndarray,
+    lower: np.ndarray,
+    upper: np.ndarray,
+    alpha0: float = 1.0,
+    c1: float = 1e-4,
+    shrink: float = 0.5,
+    max_steps: int = 25,
+) -> ArmijoSteps:
+    """Armijo backtracking on the projected arc ``P(x + a d)``.
+
+    The objective is *minimised*.  The sufficient-decrease test uses the
+    actual projected displacement, which is the standard adaptation of
+    Armijo to bound constraints (Bertsekas' projection arc).
+
+    Args:
+        x: current iterate (feasible).
+        direction: search direction (descent for the unconstrained model).
+        f0: objective at ``x``.
+        g0: gradient at ``x``.
+        lower/upper: box bounds.
+        alpha0: initial trial step.
+        c1: sufficient-decrease constant.
+        shrink: backtracking factor in (0, 1).
+        max_steps: maximum halvings.
+
+    Returns (as the generator's return value):
+        ``(x_new, f_new, alpha, n_evals)``.  If no step satisfies the
+        test, the best trial seen is returned (possibly ``x`` itself).
+    """
+    if not 0 < shrink < 1:
+        raise ValueError(f"shrink must be in (0, 1), got {shrink}")
+    alpha = alpha0
+    best = (x, f0, 0.0)
+    evals = 0
+    for _ in range(max_steps):
+        trial = np.clip(x + alpha * direction, lower, upper)
+        displacement = trial - x
+        if not np.any(displacement):
+            alpha *= shrink
+            continue
+        f_trial = yield trial
+        evals += 1
+        if f_trial < best[1]:
+            best = (trial, f_trial, alpha)
+        # Armijo with projected displacement.
+        if f_trial <= f0 + c1 * float(g0.ravel() @ displacement.ravel()):
+            return trial, f_trial, alpha, evals
+        alpha *= shrink
+    return best[0], best[1], best[2], evals
 
 
 def projected_armijo(
@@ -20,45 +94,23 @@ def projected_armijo(
     shrink: float = 0.5,
     max_steps: int = 25,
 ) -> tuple[np.ndarray, float, float, int]:
-    """Armijo backtracking on the projected arc ``P(x + a d)``.
-
-    ``objective`` is *minimised*.  The sufficient-decrease test uses the
-    actual projected displacement, which is the standard adaptation of
-    Armijo to bound constraints (Bertsekas' projection arc).
+    """Callable-objective form of :func:`projected_armijo_steps`.
 
     Args:
-        objective: scalar function to minimise.
-        x: current iterate (feasible).
-        direction: search direction (descent for the unconstrained model).
-        f0: objective at ``x``.
-        g0: gradient at ``x``.
-        lower/upper: box bounds.
-        alpha0: initial trial step.
-        c1: sufficient-decrease constant.
-        shrink: backtracking factor in (0, 1).
-        max_steps: maximum halvings.
+        objective: scalar function to minimise; all other arguments as in
+            :func:`projected_armijo_steps`.
 
     Returns:
-        ``(x_new, f_new, alpha, n_evals)``.  If no step satisfies the
-        test, the best trial seen is returned (possibly ``x`` itself).
+        ``(x_new, f_new, alpha, n_evals)``.
     """
-    if not 0 < shrink < 1:
-        raise ValueError(f"shrink must be in (0, 1), got {shrink}")
-    alpha = alpha0
-    best = (x, f0, 0.0)
-    evals = 0
-    for _ in range(max_steps):
-        trial = np.clip(x + alpha * direction, lower, upper)
-        displacement = trial - x
-        if not np.any(displacement):
-            alpha *= shrink
-            continue
-        f_trial = objective(trial)
-        evals += 1
-        if f_trial < best[1]:
-            best = (trial, f_trial, alpha)
-        # Armijo with projected displacement.
-        if f_trial <= f0 + c1 * float(g0.ravel() @ displacement.ravel()):
-            return trial, f_trial, alpha, evals
-        alpha *= shrink
-    return best[0], best[1], best[2], evals
+    steps = projected_armijo_steps(
+        x, direction, f0, g0, lower, upper,
+        alpha0=alpha0, c1=c1, shrink=shrink, max_steps=max_steps,
+    )
+    reply: float | None = None
+    while True:
+        try:
+            trial = steps.send(reply)
+        except StopIteration as done:
+            return done.value
+        reply = objective(trial)

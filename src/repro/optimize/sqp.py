@@ -23,15 +23,22 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Generator
 
 import numpy as np
 
 from .boxqp import solve_box_qp
-from .linesearch import projected_armijo
+from .linesearch import projected_armijo_steps
 
 #: Signature: x -> (value, gradient); the solver MAXIMISES value.
 ValueAndGrad = Callable[[np.ndarray], tuple[float, np.ndarray]]
+
+#: One evaluation request from :meth:`SqpOptimizer.maximize_steps`:
+#: ``("grad", x)`` expects ``(value, gradient)`` sent back, ``("value", x)``
+#: expects a float.  ``x`` always has the caller's original shape.
+EvalRequest = tuple[str, np.ndarray]
+
+SqpSteps = Generator[EvalRequest, object, "SqpResult"]
 
 
 @dataclass
@@ -103,6 +110,36 @@ class SqpOptimizer:
                 pass.  Defaults to calling ``fun`` and discarding the
                 gradient.
         """
+        steps = self.maximize_steps(x0, lower, upper)
+        reply: object = None
+        while True:
+            try:
+                kind, point = steps.send(reply)
+            except StopIteration as done:
+                return done.value
+            if kind == "grad":
+                value, grad = fun(point)
+                reply = (float(value), np.asarray(grad, dtype=float))
+            elif fun_value is None:
+                reply = float(fun(point)[0])
+            else:
+                reply = float(fun_value(point))
+
+    def maximize_steps(self, x0: np.ndarray, lower: np.ndarray,
+                       upper: np.ndarray) -> SqpSteps:
+        """Inverted-control core of :meth:`maximize`.
+
+        A generator that *yields* evaluation requests — ``("grad", x)``
+        expecting ``(value, gradient)`` sent back, ``("value", x)``
+        expecting a float — and returns the :class:`SqpResult` when done.
+        All SQP math (L-BFGS/BFGS state, bound handling, line search)
+        lives here; who computes the oracle answers is the driver's
+        business.  :meth:`maximize` drives it with plain callables;
+        :func:`repro.optimize.multistart.refine_starting_points_batched`
+        drives many instances in lockstep and services each round's
+        requests with one batched network pass — same iterates either
+        way, because this is the only implementation.
+        """
         lower = np.broadcast_to(lower, x0.shape).astype(float)
         upper = np.broadcast_to(upper, x0.shape).astype(float)
         if np.any(lower > upper):
@@ -113,20 +150,12 @@ class SqpOptimizer:
 
         evals = 0
 
-        def eval_at(z: np.ndarray) -> tuple[float, np.ndarray]:
-            nonlocal evals
-            evals += 1
-            value, grad = fun(z.reshape(shape))
-            return float(value), np.asarray(grad, dtype=float).ravel()
+        def request_grad(z: np.ndarray) -> EvalRequest:
+            return ("grad", z.reshape(shape))
 
-        def value_at(z: np.ndarray) -> float:
-            nonlocal evals
-            evals += 1
-            if fun_value is None:
-                return float(fun(z.reshape(shape))[0])
-            return float(fun_value(z.reshape(shape)))
-
-        f, g = eval_at(x)
+        value, grad_full = yield request_grad(x)
+        evals += 1
+        f, g = float(value), np.asarray(grad_full, dtype=float).ravel()
         history = [f]
         n = x.size
         memory: deque[tuple[np.ndarray, np.ndarray]] = deque(maxlen=self.memory)
@@ -166,17 +195,29 @@ class SqpOptimizer:
                 natural = self.max_step_fraction * span / dir_norm
                 alpha0 = natural if not have_curvature else min(alpha0, natural)
 
-            # Line search minimises -f along the projected arc.
-            x_new, _, _, _ = projected_armijo(
-                objective=lambda z: -value_at(z),
+            # Line search minimises -f along the projected arc; its trial
+            # points surface as "value" requests so a batched driver can
+            # evaluate many concurrent line searches at once.
+            search = projected_armijo_steps(
                 x=x, direction=direction, f0=-f, g0=-g,
                 lower=lo, upper=hi, alpha0=alpha0,
             )
-            # value_at already counted inside the closure.
+            trial_value: float | None = None
+            while True:
+                try:
+                    trial = search.send(trial_value)
+                except StopIteration as done:
+                    x_new = done.value[0]
+                    break
+                raw = yield ("value", trial.reshape(shape))
+                evals += 1
+                trial_value = -float(raw)
             if not np.any(x_new != x):
                 converged = True
                 break
-            f_new, g_new = eval_at(x_new)
+            value, grad_full = yield request_grad(x_new)
+            evals += 1
+            f_new, g_new = float(value), np.asarray(grad_full, dtype=float).ravel()
 
             s = x_new - x
             y = g_new - g  # gradient of f (ascent); curvature uses -y

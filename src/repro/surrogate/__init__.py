@@ -7,7 +7,12 @@ from .extraction import (
     extract_parameter_matrix,
     extract_parameter_matrix_numpy,
 )
-from .network import CmpNeuralNetwork, HeightNormalizer, PlanarityEvaluation
+from .network import (
+    BatchPlanarityEvaluation,
+    CmpNeuralNetwork,
+    HeightNormalizer,
+    PlanarityEvaluation,
+)
 from .persist import load_surrogate, save_surrogate
 from .objectives import (
     DEFAULT_ETA,
@@ -18,6 +23,7 @@ from .objectives import (
     outliers,
     outliers_hard,
     planarity_score,
+    planarity_score_batch,
     score_function,
 )
 from .train import (
@@ -31,6 +37,7 @@ from .train import (
 
 __all__ = [
     "AccuracyReport",
+    "BatchPlanarityEvaluation",
     "CmpNeuralNetwork",
     "DEFAULT_ETA",
     "ExtractionConstants",
@@ -52,6 +59,7 @@ __all__ = [
     "outliers",
     "outliers_hard",
     "planarity_score",
+    "planarity_score_batch",
     "pretrain_surrogate",
     "save_surrogate",
     "score_function",

@@ -3,10 +3,18 @@
 Pipeline per sample: two-step random layout (window re-assembly + random
 legal fill) -> extraction-layer feature planes -> full-chip CMP simulation
 -> normalised height label.
+
+Sample *generation* (assembly + random fill) is cheap and RNG-driven;
+sample *labelling* (the teacher CMP simulation) is expensive and fully
+deterministic.  :func:`build_dataset` therefore always draws layouts in
+the parent process with the one seeded RNG stream, and optionally farms
+only the simulations out to a :class:`~concurrent.futures.ProcessPoolExecutor`
+— serial and parallel runs produce byte-identical datasets.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
 import numpy as np
@@ -76,6 +84,14 @@ def simulate_sample(layout: Layout, fill: np.ndarray,
     return features, heights
 
 
+def _simulate_pair(
+    args: tuple[Layout, np.ndarray, CmpSimulator],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Picklable worker wrapper around :func:`simulate_sample`."""
+    layout, fill, simulator = args
+    return simulate_sample(layout, fill, simulator)
+
+
 def build_dataset(
     sources: list[Layout],
     count: int,
@@ -84,6 +100,7 @@ def build_dataset(
     simulator: CmpSimulator | None = None,
     seed: int = 0,
     normalizer: HeightNormalizer | None = None,
+    n_workers: int | None = None,
 ) -> SurrogateDataset:
     """Generate ``count`` labelled samples via the two-step procedure.
 
@@ -97,16 +114,27 @@ def build_dataset(
         normalizer: reuse an existing normalisation (e.g. the training
             set's) instead of fitting one — required for a comparable
             test/extension set.
+        n_workers: number of worker processes for the teacher simulations.
+            ``None`` or ``1`` keeps everything in-process.  Layout assembly
+            always runs in the parent with the seeded RNG, and the farmed
+            simulations are deterministic, so the dataset is byte-identical
+            for every worker count.
     """
     if count <= 0:
         raise ValueError(f"count must be positive, got {count}")
+    if n_workers is not None and n_workers < 1:
+        raise ValueError(f"n_workers must be >= 1, got {n_workers}")
     simulator = simulator or CmpSimulator()
     pairs = generate_training_layouts(sources, count, rows, cols, seed=seed)
-    feats, heights = [], []
-    for layout, fill in pairs:
-        f, h = simulate_sample(layout, fill, simulator)
-        feats.append(f)
-        heights.append(h)
+    if n_workers is not None and n_workers > 1:
+        tasks = [(layout, fill, simulator) for layout, fill in pairs]
+        with ProcessPoolExecutor(max_workers=min(n_workers, count)) as pool:
+            results = list(pool.map(_simulate_pair, tasks))
+    else:
+        results = [simulate_sample(layout, fill, simulator)
+                   for layout, fill in pairs]
+    feats = [f for f, _ in results]
+    heights = [h for _, h in results]
     inputs = np.stack(feats)  # (n, L, C, N, M)
     raw = np.stack(heights)  # (n, L, N, M)
     if normalizer is None:

@@ -69,8 +69,14 @@ def extract_parameter_matrix(fill: Tensor, consts: ExtractionConstants) -> Tenso
 
     Layers become the batch dimension so one UNet weights-set serves every
     layer, exactly as a segmentation network treats independent images.
+
+    A stacked ``(K, L, N, M)`` fill (K independent fill vectors, e.g. the
+    starts of one MSP-SQP round) is also accepted: the per-layout constants
+    broadcast over the leading axis and the result collapses starts and
+    layers into one ``(K * L, C, N, M)`` batch, so a single network
+    forward/backward serves every start.
     """
-    if fill.shape != consts.density.shape:
+    if fill.ndim not in (3, 4) or fill.shape[-3:] != consts.density.shape:
         raise ValueError(
             f"fill shape {fill.shape} != layout shape {consts.density.shape}"
         )
@@ -96,12 +102,15 @@ def extract_parameter_matrix(fill: Tensor, consts: ExtractionConstants) -> Tenso
             consts.wire_width * empty
         )
 
-    L = fill.shape[0]
+    # (L, N, M) -> batch of L images; (K, L, N, M) -> batch of K * L.
+    batch = int(np.prod(fill.shape[:-2]))
+    N, M = fill.shape[-2:]
+    depth = np.broadcast_to(consts.trench_depth / DEPTH_SCALE, fill.shape)
     planes = [
-        density.reshape(L, 1, *fill.shape[1:]),
-        (perimeter * (1.0 / PERIMETER_SCALE)).reshape(L, 1, *fill.shape[1:]),
-        (width * (1.0 / WIDTH_SCALE)).reshape(L, 1, *fill.shape[1:]),
-        Tensor(consts.trench_depth / DEPTH_SCALE).reshape(L, 1, *fill.shape[1:]),
+        density.reshape(batch, 1, N, M),
+        (perimeter * (1.0 / PERIMETER_SCALE)).reshape(batch, 1, N, M),
+        (width * (1.0 / WIDTH_SCALE)).reshape(batch, 1, N, M),
+        Tensor(depth.reshape(batch, 1, N, M)),
     ]
     from ..nn import functional as F
 

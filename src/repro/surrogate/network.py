@@ -21,6 +21,7 @@ from .objectives import (
     PlanarityBreakdown,
     PlanarityWeights,
     planarity_score,
+    planarity_score_batch,
 )
 
 
@@ -65,6 +66,17 @@ class PlanarityEvaluation:
     breakdown: PlanarityBreakdown
     heights: np.ndarray  # (L, N, M) predicted physical heights
     gradient: np.ndarray | None  # dS_plan/dx, same shape as the fill
+
+
+@dataclass
+class BatchPlanarityEvaluation:
+    """Result of one stacked forward (+ optional backward) pass over K
+    independent fill vectors."""
+
+    s_plan: np.ndarray  # (K,) planarity scores
+    breakdowns: list[PlanarityBreakdown]  # one per fill vector
+    heights: np.ndarray  # (K, L, N, M) predicted physical heights
+    gradient: np.ndarray | None  # (K, L, N, M); zero rows where masked out
 
 
 class CmpNeuralNetwork:
@@ -119,9 +131,62 @@ class CmpNeuralNetwork:
             heights=heights.data, gradient=gradient,
         )
 
+    def evaluate_batch(
+        self,
+        fills: np.ndarray,
+        weights: PlanarityWeights,
+        want_grad: bool = True,
+        grad_mask: np.ndarray | None = None,
+    ) -> BatchPlanarityEvaluation:
+        """K independent fill vectors through ONE stacked network pass.
+
+        The MSP-SQP framework evaluates many starting points per
+        iteration; pushing them one at a time wastes the network's batch
+        axis.  Here the ``(K, L, N, M)`` stack is collapsed into a single
+        ``(K * L, C, N, M)`` forward pass, and one backward call (seeded
+        with the per-start mask) returns every requested gradient.  The
+        starts never interact (BatchNorm runs in eval mode), so row ``k``
+        of the result matches :meth:`evaluate` on ``fills[k]`` to machine
+        precision — the only difference is the BLAS contraction order,
+        which may vary with the batch size at the last-ulp level.
+
+        Args:
+            fills: stacked fill vectors, shape ``(K, L, N, M)``.
+            weights: the design's score coefficients (Table II subset).
+            grad_mask: optional boolean ``(K,)`` selecting which starts
+                need gradients (e.g. only the non-converged ones of a
+                lockstep SQP round); masked-out rows come back zero.
+                Overrides ``want_grad``.
+        """
+        fills = np.asarray(fills, dtype=float)
+        if fills.ndim != 4:
+            raise ValueError(f"fills must be (K, L, N, M), got {fills.shape}")
+        K = fills.shape[0]
+        if grad_mask is None:
+            grad_mask = np.full(K, bool(want_grad))
+        else:
+            grad_mask = np.asarray(grad_mask, dtype=bool)
+            if grad_mask.shape != (K,):
+                raise ValueError(f"grad_mask must have shape ({K},), got {grad_mask.shape}")
+        need_any = bool(grad_mask.any())
+        x = Tensor(fills, requires_grad=need_any)
+        heights = self._forward(x)  # (K, L, N, M)
+        s_plan, breakdowns = planarity_score_batch(heights, weights, eta=self.eta)
+        gradient = None
+        if need_any:
+            # Seeding backward with the 0/1 mask computes all selected
+            # per-start gradients in one reverse sweep.
+            s_plan.backward(grad_mask.astype(float))
+            gradient = x.grad if x.grad is not None else np.zeros_like(fills)
+        return BatchPlanarityEvaluation(
+            s_plan=s_plan.data.astype(float, copy=True), breakdowns=breakdowns,
+            heights=heights.data, gradient=gradient,
+        )
+
     # ------------------------------------------------------------------
     def _forward(self, fill: Tensor) -> Tensor:
+        """Heights for an ``(L, N, M)`` fill or stacked ``(K, L, N, M)``."""
         matrix = extract_parameter_matrix(fill, self.consts)
-        out = self.unet(matrix)  # (L, 1, N, M) normalised
-        L, _, N, M = out.shape
-        return self.normalizer.denormalize(out.reshape(L, N, M))
+        out = self.unet(matrix)  # (L or K*L, 1, N, M) normalised
+        N, M = out.shape[2:]
+        return self.normalizer.denormalize(out.reshape(*fill.shape[:-2], N, M))

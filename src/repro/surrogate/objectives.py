@@ -32,10 +32,22 @@ from ..nn.tensor import Tensor
 DEFAULT_ETA: float = 0.5
 
 
+def _check_heights(heights: Tensor) -> bool:
+    """Validate a ``(L, N, M)`` or stacked ``(K, L, N, M)`` height tensor;
+    returns True when a leading multi-start batch axis is present."""
+    if len(heights.shape) not in (3, 4):
+        raise ValueError(f"heights must be (L, N, M) or (K, L, N, M), got {heights.shape}")
+    return len(heights.shape) == 4
+
+
 def height_variance(heights: Tensor) -> Tensor:
-    """Eq. 1 / Eq. 10a: sum over layers of per-layer height variance."""
-    if len(heights.shape) != 3:
-        raise ValueError(f"heights must be (L, N, M), got {heights.shape}")
+    """Eq. 1 / Eq. 10a: sum over layers of per-layer height variance.
+
+    ``(L, N, M)`` heights give a scalar; stacked ``(K, L, N, M)`` heights
+    (K independent candidates) give a ``(K,)`` tensor.
+    """
+    if _check_heights(heights):
+        return heights.var(axis=(2, 3)).sum(axis=1)
     return heights.var(axis=(1, 2)).sum()
 
 
@@ -43,10 +55,12 @@ def line_deviation(heights: Tensor) -> Tensor:
     """Eq. 2 / Eq. 10b: total absolute deviation from per-column means.
 
     ``MEAN(H_n, 1)`` in the paper averages over the row index ``i``,
-    giving one mean per column ``j`` of each layer.
+    giving one mean per column ``j`` of each layer.  Accepts stacked
+    ``(K, L, N, M)`` heights, returning one deviation per candidate.
     """
-    if len(heights.shape) != 3:
-        raise ValueError(f"heights must be (L, N, M), got {heights.shape}")
+    if _check_heights(heights):
+        column_means = heights.mean(axis=2, keepdims=True)
+        return (heights - column_means).abs().sum(axis=(1, 2, 3))
     column_means = heights.mean(axis=1, keepdims=True)
     return (heights - column_means).abs().sum()
 
@@ -56,16 +70,18 @@ def outliers(heights: Tensor, eta: float = DEFAULT_ETA,
     """Eq. 3 via the sigmoid smoothing of Eq. 10c.
 
     ``sum_l sum_ij smooth_hinge(H - mean_l - k * std_l)`` where the smooth
-    hinge is ``z * sigmoid(eta * z)``.
+    hinge is ``z * sigmoid(eta * z)``.  Accepts stacked ``(K, L, N, M)``
+    heights, returning one outlier total per candidate.
     """
-    if len(heights.shape) != 3:
-        raise ValueError(f"heights must be (L, N, M), got {heights.shape}")
+    batched = _check_heights(heights)
     if eta <= 0:
         raise ValueError(f"eta must be positive, got {eta}")
-    mean = heights.mean(axis=(1, 2), keepdims=True)
-    std = (heights.var(axis=(1, 2), keepdims=True) + 1e-12) ** 0.5
+    layer_axes = (2, 3) if batched else (1, 2)
+    mean = heights.mean(axis=layer_axes, keepdims=True)
+    std = (heights.var(axis=layer_axes, keepdims=True) + 1e-12) ** 0.5
     excess = heights - mean - std * threshold_sigmas
-    return (excess * F.sigmoid(excess * eta)).sum()
+    smooth = excess * F.sigmoid(excess * eta)
+    return smooth.sum(axis=(1, 2, 3)) if batched else smooth.sum()
 
 
 def outliers_hard(heights: np.ndarray, threshold_sigmas: float = 3.0) -> float:
@@ -141,3 +157,39 @@ def planarity_score(heights: Tensor, weights: PlanarityWeights,
         score_outlier=f_ol.item(), s_plan=s_plan.item(),
     )
     return s_plan, breakdown
+
+
+def planarity_score_batch(
+    heights: Tensor, weights: PlanarityWeights, eta: float = DEFAULT_ETA,
+) -> tuple[Tensor, list[PlanarityBreakdown]]:
+    """Merging layer over K stacked candidates: ``(K, L, N, M)`` heights
+    to a ``(K,)`` score tensor plus one breakdown per candidate.
+
+    Candidates never interact (every reduction stays inside its slab), so
+    entry ``k`` equals :func:`planarity_score` on ``heights[k]`` while the
+    whole batch shares a single autodiff graph: one ``backward`` on the
+    summed scores yields every candidate's gradient at once.
+    """
+    if len(heights.shape) != 4:
+        raise ValueError(f"heights must be (K, L, N, M), got {heights.shape}")
+    sigma = height_variance(heights)
+    line = line_deviation(heights)
+    ol = outliers(heights, eta=eta)
+    f_sigma = score_function(sigma, weights.beta_sigma)
+    f_line = score_function(line, weights.beta_line)
+    f_ol = score_function(ol, weights.beta_outlier)
+    s_plan = (
+        f_sigma * weights.alpha_sigma
+        + f_line * weights.alpha_line
+        + f_ol * weights.alpha_outlier
+    )
+    breakdowns = [
+        PlanarityBreakdown(
+            sigma=float(sigma.data[k]), line=float(line.data[k]),
+            outlier=float(ol.data[k]), score_sigma=float(f_sigma.data[k]),
+            score_line=float(f_line.data[k]), score_outlier=float(f_ol.data[k]),
+            s_plan=float(s_plan.data[k]),
+        )
+        for k in range(heights.shape[0])
+    ]
+    return s_plan, breakdowns

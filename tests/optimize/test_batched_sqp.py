@@ -1,0 +1,141 @@
+"""Lockstep batched multi-start SQP vs the sequential driver.
+
+The broker (:func:`refine_starting_points_batched`) must reproduce the
+sequential results bitwise because both drive the same
+:meth:`SqpOptimizer.maximize_steps` generators — these tests pin that
+contract on analytic objectives, plus the stacked starting-point API.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import rng_from_seed
+from repro.optimize import (
+    SqpOptimizer,
+    random_starting_points,
+    random_starting_points_stacked,
+    refine_starting_points,
+    refine_starting_points_batched,
+)
+
+
+def quartic_value_grad(x):
+    """Smooth multimodal 2-D objective with analytic gradient."""
+    x = np.ravel(x)
+    value = -np.sum((x - 0.3) ** 2 * (x - 0.7) ** 2)
+    grad = -2 * (x - 0.3) * (x - 0.7) * (2 * x - 1.0)
+    return float(value), grad
+
+
+def quartic_batch(points, need_grad):
+    """Row-wise batched oracle built from the sequential one."""
+    K = points.shape[0]
+    values = np.empty(K)
+    grads = np.zeros_like(points)
+    for k in range(K):
+        v, g = quartic_value_grad(points[k])
+        values[k] = v
+        if need_grad[k]:
+            grads[k] = g.reshape(points[k].shape)
+    return values, grads
+
+
+class TestBatchedBroker:
+    def assert_results_identical(self, seq, bat):
+        assert len(seq) == len(bat)
+        for a, b in zip(seq, bat):
+            np.testing.assert_array_equal(a.x, b.x)
+            assert a.value == b.value
+            assert a.iterations == b.iterations
+            assert a.evaluations == b.evaluations
+            assert a.converged == b.converged
+            assert a.history == b.history
+
+    @pytest.mark.parametrize("hessian", ["lbfgs", "dense"])
+    def test_matches_sequential_bitwise(self, hessian):
+        lo, hi = np.zeros(2), np.ones(2)
+        starts = random_starting_points(lo, hi, 6, seed=0)
+        opt = SqpOptimizer(max_iter=40, tol=1e-10, hessian=hessian)
+        seq = refine_starting_points(quartic_value_grad, starts, lo, hi, opt)
+        bat = refine_starting_points_batched(quartic_batch, starts, lo, hi, opt)
+        self.assert_results_identical(seq, bat)
+
+    def test_mixed_convergence_dropout(self):
+        """Starts converging at different iteration counts drop out of the
+        batch without disturbing the still-live ones."""
+        lo, hi = np.zeros(2), np.ones(2)
+        # One start already at an optimum (instant convergence), others far.
+        starts = [np.array([0.3, 0.3]), np.array([0.01, 0.99]),
+                  np.array([0.55, 0.45])]
+        opt = SqpOptimizer(max_iter=60, tol=1e-10)
+        seq = refine_starting_points(quartic_value_grad, starts, lo, hi, opt)
+        bat = refine_starting_points_batched(quartic_batch, starts, lo, hi, opt)
+        self.assert_results_identical(seq, bat)
+        assert seq[0].iterations < seq[1].iterations
+
+    def test_stacked_array_input(self):
+        lo, hi = np.zeros(3), np.ones(3)
+        stacked = random_starting_points_stacked(lo, hi, 4, seed=2)
+        bat = refine_starting_points_batched(quartic_batch, stacked, lo, hi,
+                                             SqpOptimizer(max_iter=30, tol=1e-9))
+        assert len(bat) == 4
+
+    def test_single_start(self):
+        lo, hi = np.zeros(2), np.ones(2)
+        starts = [np.array([0.1, 0.9])]
+        opt = SqpOptimizer(max_iter=40, tol=1e-10)
+        seq = refine_starting_points(quartic_value_grad, starts, lo, hi, opt)
+        bat = refine_starting_points_batched(quartic_batch, starts, lo, hi, opt)
+        self.assert_results_identical(seq, bat)
+
+    def test_batch_sizes_shrink_as_starts_finish(self):
+        sizes = []
+
+        def recording_batch(points, need_grad):
+            sizes.append(points.shape[0])
+            return quartic_batch(points, need_grad)
+
+        lo, hi = np.zeros(2), np.ones(2)
+        starts = [np.array([0.3, 0.3]), np.array([0.05, 0.95])]
+        refine_starting_points_batched(recording_batch, starts, lo, hi,
+                                       SqpOptimizer(max_iter=60, tol=1e-10))
+        assert sizes[0] == 2
+        assert sizes[-1] == 1  # the hard start outlives the easy one
+
+    def test_empty_starts_rejected(self):
+        with pytest.raises(ValueError):
+            refine_starting_points_batched(
+                quartic_batch, [], np.zeros(1), np.ones(1)
+            )
+
+
+class TestStackedStartingPoints:
+    def test_matches_sequential_rng_stream(self):
+        """One (K, *shape) draw consumes the stream exactly like K
+        per-start draws, so old seeds keep producing the old points."""
+        lo = np.zeros((2, 3))
+        hi = np.full((2, 3), 5.0)
+        stacked = random_starting_points_stacked(lo, hi, 5, seed=3)
+        rng = rng_from_seed(3)
+        for k in range(5):
+            expected = lo + rng.random(lo.shape) * (hi - lo)
+            np.testing.assert_array_equal(stacked[k], expected)
+
+    def test_list_api_is_view_of_stacked(self):
+        lo, hi = np.zeros(4), np.ones(4)
+        stacked = random_starting_points_stacked(lo, hi, 3, seed=1)
+        listed = random_starting_points(lo, hi, 3, seed=1)
+        assert len(listed) == 3
+        for k in range(3):
+            np.testing.assert_array_equal(listed[k], stacked[k])
+
+    def test_shape_and_feasibility(self):
+        lo = np.zeros((2, 3))
+        hi = np.full((2, 3), 5.0)
+        stacked = random_starting_points_stacked(lo, hi, 7, seed=0)
+        assert stacked.shape == (7, 2, 3)
+        assert np.all(stacked >= lo) and np.all(stacked <= hi)
+
+    def test_count_positive(self):
+        with pytest.raises(ValueError):
+            random_starting_points_stacked(np.zeros(1), np.ones(1), 0)

@@ -74,15 +74,28 @@ def test_batched_msp_and_parallel_datagen(benchmark):
     fill_diff = float(np.max(np.abs(seq.best_fill - bat.best_fill)))
     msp_speedup = seq_s / bat_s
 
+    # The datagen lever is a process pool: on a single-core host the
+    # workers only add fork/pickle overhead and the "speedup" is pure
+    # noise (<1x), so the comparison is skipped and annotated instead of
+    # recorded as a misleading regression.
+    cores = os.cpu_count() or 1
     sources = [make_design_a(rows=10, cols=10), make_design_b(rows=10, cols=10)]
     serial, serial_s = _timed(lambda: build_dataset(
         sources, count=DATAGEN_COUNT, rows=10, cols=10, seed=0))
-    par, par_s = _timed(lambda: build_dataset(
-        sources, count=DATAGEN_COUNT, rows=10, cols=10, seed=0,
-        n_workers=DATAGEN_WORKERS))
-    identical = (serial.inputs.tobytes() == par.inputs.tobytes()
-                 and serial.targets.tobytes() == par.targets.tobytes())
-    datagen_speedup = serial_s / par_s
+    if cores > 1:
+        par, par_s = _timed(lambda: build_dataset(
+            sources, count=DATAGEN_COUNT, rows=10, cols=10, seed=0,
+            n_workers=DATAGEN_WORKERS))
+        identical = (serial.inputs.tobytes() == par.inputs.tobytes()
+                     and serial.targets.tobytes() == par.targets.tobytes())
+        datagen_speedup = serial_s / par_s
+        datagen_note = None
+    else:
+        par_s = None
+        identical = None
+        datagen_speedup = None
+        datagen_note = ("single-core host: parallel comparison skipped "
+                        "(a process pool cannot win on 1 core)")
 
     report = {
         "cpu_count": os.cpu_count(),
@@ -101,9 +114,10 @@ def test_batched_msp_and_parallel_datagen(benchmark):
             "count": DATAGEN_COUNT,
             "n_workers": DATAGEN_WORKERS,
             "serial_s": round(serial_s, 4),
-            "parallel_s": round(par_s, 4),
-            "speedup": round(datagen_speedup, 2),
+            "parallel_s": round(par_s, 4) if par_s is not None else None,
+            "speedup": round(datagen_speedup, 2) if datagen_speedup is not None else None,
             "byte_identical": identical,
+            "note": datagen_note,
         },
     }
     JSON_PATH.write_text(json.dumps(report, indent=2) + "\n")
@@ -113,16 +127,24 @@ def test_batched_msp_and_parallel_datagen(benchmark):
         f"{SQP_ITERS} SQP iters): sequential {seq_s:.2f}s, batched "
         f"{bat_s:.2f}s — {msp_speedup:.1f}x, "
         f"best-fill max |diff| {fill_diff:.2e}\n"
-        f"Parallel datagen ({DATAGEN_COUNT} samples, "
-        f"{DATAGEN_WORKERS} workers, {os.cpu_count()} cores): serial "
-        f"{serial_s:.2f}s, parallel {par_s:.2f}s — {datagen_speedup:.1f}x, "
-        f"byte-identical: {identical}"
     )
+    if datagen_note is None:
+        text += (
+            f"Parallel datagen ({DATAGEN_COUNT} samples, "
+            f"{DATAGEN_WORKERS} workers, {cores} cores): serial "
+            f"{serial_s:.2f}s, parallel {par_s:.2f}s — {datagen_speedup:.1f}x, "
+            f"byte-identical: {identical}"
+        )
+    else:
+        text += (
+            f"Parallel datagen: serial {serial_s:.2f}s; {datagen_note}"
+        )
     write_output("batched_msp", text)
 
     # Correctness is asserted; speedups are recorded, not asserted, since
     # they depend on the host (core count, BLAS threading).
-    assert identical
+    if datagen_note is None:
+        assert identical
     assert fill_diff < 1e-8
     assert seq.evaluations == bat.evaluations
     # Batching amortises per-call overhead even on one core.

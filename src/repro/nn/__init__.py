@@ -1,6 +1,6 @@
 """Neural-network substrate: numpy autodiff, layers, UNet, optimizers."""
 
-from . import functional
+from . import dispatch, functional
 from .conv import avg_pool2d, conv2d, conv_transpose2d, max_pool2d, upsample2x
 from .init import kaiming_normal, xavier_uniform
 from .loss import l1_loss, mse_loss, relative_l2_loss
@@ -52,6 +52,7 @@ __all__ = [
     "compute_dtype",
     "conv2d",
     "conv_transpose2d",
+    "dispatch",
     "functional",
     "get_default_dtype",
     "kaiming_normal",

@@ -1,8 +1,13 @@
 """Convolution, pooling and upsampling with autodiff (NCHW layout).
 
-Forward passes use :func:`numpy.lib.stride_tricks.sliding_window_view`
-plus ``einsum`` (an im2col formulation without materialising the column
-matrix); backward passes are the standard scatter/gather adjoints.
+Forward passes and their adjoints all reduce to the two primitives of
+:mod:`repro.nn.dispatch` (valid cross-correlation and its kernel-shaped
+adjoint), which routes each call through the best of three backends —
+im2col-einsum, FFT, or shifted matmul — selected per shape by a cached
+plan.  Backward closures deliberately retain **no** padded-input copy:
+the padded map and its windows are recomputed from ``x.data`` on demand,
+so the forward graph of a deep network holds one set of activations, not
+two.
 """
 
 from __future__ import annotations
@@ -10,6 +15,7 @@ from __future__ import annotations
 import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
 
+from . import dispatch
 from .tensor import Array, Tensor
 
 
@@ -18,15 +24,20 @@ def _check_4d(x: Tensor, name: str) -> None:
         raise ValueError(f"{name} must be 4-D (B, C, H, W), got shape {x.shape}")
 
 
-def _dilate_pad_windows(values: Array, kh: int, kw: int, stride: int) -> Array:
-    """Windows of the stride-dilated, (k-1)-padded map — the shared core of
-    every scatter-style conv adjoint/forward.
+def _pad_spatial(values: Array, padding: int) -> Array:
+    if not padding:
+        return values
+    return np.pad(values, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+
+
+def _dilate_pad(values: Array, kh: int, kw: int, stride: int) -> Array:
+    """Stride-dilated, (k-1)-padded map — the shared core of every
+    scatter-style conv adjoint/forward.
 
     Inserting ``stride - 1`` zeros between entries and padding by the
     kernel size minus one turns a strided scatter into a dense gather:
     correlating the result with the spatially flipped kernel reproduces
-    ``out[p] += values[h] * W[i]`` for every ``p = h * stride + i`` in one
-    einsum instead of a ``kh * kw`` Python loop.
+    ``out[p] += values[h] * W[i]`` for every ``p = h * stride + i``.
     """
     if stride == 1:
         dilated = values
@@ -36,8 +47,12 @@ def _dilate_pad_windows(values: Array, kh: int, kw: int, stride: int) -> Array:
             (B, C, (H - 1) * stride + 1, (W - 1) * stride + 1), dtype=values.dtype
         )
         dilated[:, :, ::stride, ::stride] = values
-    padded = np.pad(dilated, ((0, 0), (0, 0), (kh - 1, kh - 1), (kw - 1, kw - 1)))
-    return sliding_window_view(padded, (kh, kw), axis=(2, 3))
+    return np.pad(dilated, ((0, 0), (0, 0), (kh - 1, kh - 1), (kw - 1, kw - 1)))
+
+
+def _flip_transpose(weight: Array) -> Array:
+    """``(O, C, kh, kw) -> (C, O, kh, kw)`` with both spatial axes flipped."""
+    return np.ascontiguousarray(weight.transpose(1, 0, 2, 3)[:, :, ::-1, ::-1])
 
 
 def conv2d(
@@ -58,37 +73,37 @@ def conv2d(
     if H + 2 * padding < kh or W + 2 * padding < kw:
         raise ValueError("kernel larger than padded input")
 
-    xp = np.pad(x.data, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
-    windows = sliding_window_view(xp, (kh, kw), axis=(2, 3))[:, :, ::stride, ::stride]
-    out_data = np.einsum("bchwij,ocij->bohw", windows, weight.data, optimize=True)
+    xp = _pad_spatial(x.data, padding)
+    out_data = dispatch.corr2d(xp, weight.data, stride)
     if bias is not None:
         out_data = out_data + bias.data[None, :, None, None]
+    padded_shape = xp.shape
+    del xp  # recomputed on demand in backward; do not retain a copy
 
     parents = (x, weight) if bias is None else (x, weight, bias)
     out = Tensor(out_data, _parents=parents)
-    Ho, Wo = out_data.shape[2:]
 
     def backward(grad: Array) -> None:
         if bias is not None and bias.requires_grad:
             bias._accumulate(grad.sum(axis=(0, 2, 3)))
         if weight.requires_grad:
             weight._accumulate(
-                np.einsum("bohw,bchwij->ocij", grad, windows, optimize=True)
+                dispatch.corr2d_weight_grad(
+                    grad, _pad_spatial(x.data, padding), kh, kw, stride
+                )
             )
         if x.requires_grad:
             # Input gradient as a full correlation of the dilated upstream
-            # gradient with the flipped kernel (no kh*kw Python loop).
-            gwin = _dilate_pad_windows(grad, kh, kw, stride)
-            gfull = np.einsum(
-                "bohwij,ocij->bchw", gwin, weight.data[:, :, ::-1, ::-1],
-                optimize=True,
+            # gradient with the flipped, channel-transposed kernel.
+            gfull = dispatch.corr2d(
+                _dilate_pad(grad, kh, kw, stride), _flip_transpose(weight.data), 1
             )
-            if gfull.shape == xp.shape:
+            if gfull.shape == padded_shape:
                 gxp = gfull
             else:
                 # Trailing rows/cols of the padded input that no window
                 # covers (when (H - kh) % stride != 0) get zero gradient.
-                gxp = np.zeros_like(xp)
+                gxp = np.zeros(padded_shape, dtype=gfull.dtype)
                 gxp[:, :, : gfull.shape[2], : gfull.shape[3]] = gfull
             if padding:
                 gxp = gxp[:, :, padding:-padding or None, padding:-padding or None]
@@ -115,9 +130,10 @@ def conv_transpose2d(
     if Cw != C:
         raise ValueError(f"channel mismatch: input {C}, weight expects {Cw}")
 
-    xwin = _dilate_pad_windows(x.data, kh, kw, stride)
-    out_data = np.einsum(
-        "bchwij,coij->bohw", xwin, weight.data[:, :, ::-1, ::-1], optimize=True
+    # Scatter as a dense gather: correlate the dilated input with the
+    # flipped kernel, (C, O) transposed into corr2d's (out, in) order.
+    out_data = dispatch.corr2d(
+        _dilate_pad(x.data, kh, kw, stride), _flip_transpose(weight.data), 1
     )
     if bias is not None:
         out_data = out_data + bias.data[None, :, None, None]
@@ -126,15 +142,19 @@ def conv_transpose2d(
     out = Tensor(out_data, _parents=parents)
 
     def backward(grad: Array) -> None:
-        gwin = sliding_window_view(grad, (kh, kw), axis=(2, 3))[:, :, ::stride, ::stride]
         if bias is not None and bias.requires_grad:
             bias._accumulate(grad.sum(axis=(0, 2, 3)))
         if weight.requires_grad:
+            # gw[c, o, i, j] = sum_b,h,w x[b,c,h,w] grad[b,o,hs+i,ws+j]:
+            # the weight-grad primitive with input and gradient roles
+            # swapped returns the (C, O, kh, kw) layout directly.
             weight._accumulate(
-                np.einsum("bchw,bohwij->coij", x.data, gwin, optimize=True)
+                dispatch.corr2d_weight_grad(x.data, grad, kh, kw, stride)
             )
         if x.requires_grad:
-            x._accumulate(np.einsum("bohwij,coij->bchw", gwin, weight.data, optimize=True))
+            # Strided gather of the upstream gradient: a plain strided
+            # correlation with the weight read as (out=C, in=O).
+            x._accumulate(dispatch.corr2d(grad, weight.data, stride))
 
     out._backward = backward
     return out

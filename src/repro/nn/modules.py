@@ -138,8 +138,14 @@ class Conv2d(Module):
             requires_grad=True,
         )
         self.bias = Tensor(np.zeros(out_channels), requires_grad=True) if bias else None
+        self.kernel_size = kernel_size
         self.stride = stride
         self.padding = padding
+
+    @property
+    def receptive_radius(self) -> int:
+        """One-sided spatial reach in input cells (``(k - 1) // 2``)."""
+        return (self.kernel_size - 1) // 2
 
     def forward(self, x: Tensor) -> Tensor:
         return conv2d(x, self.weight, self.bias, stride=self.stride,
@@ -159,6 +165,7 @@ class ConvTranspose2d(Module):
             requires_grad=True,
         )
         self.bias = Tensor(np.zeros(out_channels), requires_grad=True) if bias else None
+        self.kernel_size = kernel_size
         self.stride = stride
 
     def forward(self, x: Tensor) -> Tensor:

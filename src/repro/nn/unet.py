@@ -42,6 +42,11 @@ class DoubleConv(Module):
     def forward(self, x: Tensor) -> Tensor:
         return self.body(x)
 
+    def receptive_radius(self) -> int:
+        """Summed one-sided reach of the block's convolutions (in cells)."""
+        return sum(layer.receptive_radius for layer in self.body.layers
+                   if isinstance(layer, Conv2d))
+
 
 class UNet(Module):
     """Configurable-depth UNet mapping layout parameters to a height map.
@@ -135,3 +140,36 @@ class UNet(Module):
         for i in range(self.depth):
             field = field * 2 + 8
         return field
+
+    @property
+    def alignment(self) -> int:
+        """Tile offsets must be multiples of this (the pooling grid pitch)."""
+        return 2 ** self.depth
+
+    def receptive_field_radius(self) -> int:
+        """Exact one-sided receptive-field radius in input windows.
+
+        Computed from the per-block kernel metadata with the standard
+        span recursion ``R = 1 + sum (k_l - 1) * jump_l`` (jump = product
+        of strides before layer ``l``), then halved and rounded up to
+        absorb the half-cell asymmetry of the 2x pool/upsample pair.
+        Overlap-tiled inference with a halo of at least this many windows
+        (rounded up to :attr:`alignment`) reproduces the monolithic
+        forward exactly — see
+        :meth:`repro.surrogate.network.CmpNeuralNetwork.predict_heights_tiled`.
+        """
+        span = 0  # R - 1
+        jump = 1
+        for encoder in self.encoders:
+            span += 2 * jump * encoder.receptive_radius()
+            span += jump  # max-pool, kernel 2
+            jump *= 2
+        span += 2 * jump * self.bottleneck.receptive_radius()
+        for up_conv, decoder in zip(self.up_convs, self.decoders):
+            jump //= 2
+            if self.up_mode == "upsample":
+                span += 2 * jump * up_conv.receptive_radius
+            # transpose mode: kernel == stride == 2 maps each output to
+            # exactly one input, adding no reach.
+            span += 2 * jump * decoder.receptive_radius()
+        return (span + 1) // 2

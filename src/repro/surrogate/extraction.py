@@ -50,6 +50,21 @@ class ExtractionConstants:
     window_area: float
     dummy_side: float = DUMMY_SIDE_UM
 
+    def crop(self, rows: slice, cols: slice) -> "ExtractionConstants":
+        """Constants restricted to a window sub-grid (for tiled inference).
+
+        Extraction is purely per-window, so cropping the constants and the
+        fill identically commutes with :func:`extract_parameter_matrix`.
+        """
+        return ExtractionConstants(
+            density=self.density[:, rows, cols],
+            perimeter=self.perimeter[:, rows, cols],
+            wire_width=self.wire_width[:, rows, cols],
+            trench_depth=self.trench_depth[:, rows, cols],
+            window_area=self.window_area,
+            dummy_side=self.dummy_side,
+        )
+
     @classmethod
     def from_layout(cls, layout: Layout,
                     dummy_side: float = DUMMY_SIDE_UM) -> "ExtractionConstants":

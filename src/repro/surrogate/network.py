@@ -110,6 +110,81 @@ class CmpNeuralNetwork:
             fill = np.zeros(self.layout.shape)
         return self._forward(Tensor(fill)).data
 
+    def predict_heights_tiled(
+        self,
+        fill: np.ndarray | None = None,
+        tile: int = 128,
+        halo: int | None = None,
+    ) -> np.ndarray:
+        """Overlap-tile streamed forward for full-chip window grids.
+
+        The monolithic forward materialises every UNet activation for the
+        whole ``(L, C, N, M)`` map at once, which for a 1000x1000 grid is
+        tens of gigabytes.  This method runs the network on halo-padded
+        tiles and stitches the centre crops: peak memory is bounded by one
+        ``(tile + 2 * halo)``-sized forward, independent of chip size.
+
+        Exactness: tile origins are multiples of the UNet's pooling
+        :attr:`~repro.nn.unet.UNet.alignment` and the halo covers the
+        network's receptive-field radius, so every stitched window sees
+        the identical computation (same pooling phase, same neighbourhood,
+        same zero padding at chip borders) as the monolithic forward.
+
+        Args:
+            fill: fill areas ``(L, N, M)`` (zeros when omitted).  Stacked
+                ``(K, L, N, M)`` fills are not supported here — this is an
+                inference path for single full-chip maps.
+            tile: nominal tile side in windows (rounded up to the
+                alignment).
+            halo: overlap in windows; defaults to the network's exact
+                receptive-field radius rounded up to the alignment.
+                Smaller halos trade accuracy for speed and void the
+                exactness guarantee.
+
+        Returns:
+            ``(L, N, M)`` predicted physical heights, matching
+            :meth:`predict_heights` to floating-point precision.
+        """
+        if fill is None:
+            fill = np.zeros(self.layout.shape)
+        fill = np.asarray(fill, dtype=float)
+        if fill.ndim != 3 or fill.shape != self.consts.density.shape:
+            raise ValueError(
+                f"fill must have layout shape {self.consts.density.shape}, "
+                f"got {fill.shape}"
+            )
+        align = int(getattr(self.unet, "alignment", 1))
+        if halo is None:
+            radius = getattr(self.unet, "receptive_field_radius", lambda: 0)()
+            halo = -(-radius // align) * align
+        else:
+            if halo < 0:
+                raise ValueError(f"halo must be >= 0, got {halo}")
+            halo = -(-halo // align) * align
+        if tile < 1:
+            raise ValueError(f"tile must be >= 1, got {tile}")
+        tile = max(align, -(-tile // align) * align)
+
+        L, N, M = fill.shape
+        out = np.empty((L, N, M))
+        for r0 in range(0, N, tile):
+            r1 = min(r0 + tile, N)
+            sr0, sr1 = max(0, r0 - halo), min(N, r1 + halo)
+            for c0 in range(0, M, tile):
+                c1 = min(c0 + tile, M)
+                sc0, sc1 = max(0, c0 - halo), min(M, c1 + halo)
+                rows, cols = slice(sr0, sr1), slice(sc0, sc1)
+                matrix = extract_parameter_matrix(
+                    Tensor(fill[:, rows, cols]), self.consts.crop(rows, cols)
+                )
+                heights = self.normalizer.denormalize_array(
+                    self.unet(matrix).data[:, 0]
+                )
+                out[:, r0:r1, c0:c1] = heights[
+                    :, r0 - sr0 : r1 - sr0, c0 - sc0 : c1 - sc0
+                ]
+        return out
+
     def evaluate(self, fill: np.ndarray, weights: PlanarityWeights,
                  want_grad: bool = True) -> PlanarityEvaluation:
         """Planarity score (forward) and its gradient (backward).

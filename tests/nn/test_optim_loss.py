@@ -85,6 +85,41 @@ class TestAdam:
         with pytest.raises(ValueError):
             Adam([x], betas=(1.0, 0.9))
 
+    @pytest.mark.parametrize("weight_decay", [0.0, 0.01])
+    def test_inplace_step_matches_textbook_update(self, weight_decay):
+        """The buffer-reusing step must reproduce the allocating formula."""
+        rng = np.random.default_rng(0)
+        data = rng.normal(size=(4, 3))
+        x = Tensor(data.copy(), requires_grad=True)
+        opt = Adam([x], lr=0.05, betas=(0.9, 0.999), eps=1e-8,
+                   weight_decay=weight_decay)
+
+        # Reference state updated with the plain allocating expressions.
+        ref = data.copy()
+        m = np.zeros_like(ref)
+        v = np.zeros_like(ref)
+        for t in range(1, 6):
+            grad = rng.normal(size=ref.shape)
+            x.grad = grad.copy()
+            opt.step()
+
+            g = grad + weight_decay * ref if weight_decay else grad
+            m = 0.9 * m + 0.1 * g
+            v = 0.999 * v + 0.001 * g * g
+            m_hat = m / (1.0 - 0.9**t)
+            v_hat = v / (1.0 - 0.999**t)
+            ref = ref - 0.05 * m_hat / (np.sqrt(v_hat) + 1e-8)
+            np.testing.assert_allclose(x.data, ref, rtol=0, atol=1e-14)
+
+    def test_step_does_not_alias_grad_or_state(self):
+        """Scratch reuse must never write through to the gradient array."""
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        opt = Adam([x], lr=0.1)
+        grad = np.array([0.5, -0.5])
+        x.grad = grad
+        opt.step()
+        np.testing.assert_array_equal(grad, [0.5, -0.5])
+
 
 class TestLosses:
     def test_mse_value(self):

@@ -1,0 +1,331 @@
+"""Resident serve throughput vs cold one-shot CLI invocations.
+
+Measures the ``repro.serve`` subsystem end to end over its TCP
+transport:
+
+* served neurfill-pkb fills at 1 / 4 / 16 concurrent clients, with
+  micro-batch coalescing on (``max_batch=16``) and off (``max_batch=1``),
+  reporting throughput and client-observed p50/p95/p99 latency plus the
+  server's micro-batch size histogram;
+* the same job as sequential *cold* CLI invocations (one fresh
+  ``python -m repro fill --model ...`` process per job — each pays
+  interpreter start, model load and score calibration).
+
+The surrogate checkpoint is random-weight (saved via ``save_surrogate``,
+no training): throughput depends on the compute shape, not on how good
+the weights are, and every served/CLI run uses the same checkpoint.
+
+Results go to ``benchmarks/output/serve.txt`` and, machine readable, to
+``BENCH_serve.json`` at the repo root.
+
+Environment knobs:
+
+* ``NEURFILL_BENCH_SMOKE=1`` shrinks the grid and the client matrix so
+  the whole file runs in CI; the >=2x served-vs-cold-CLI throughput
+  assertion only applies in full mode.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+from _common import write_output
+from repro.layout import save_layout
+from repro.layout.designs import DESIGN_BUILDERS
+from repro.nn import UNet
+from repro.serve import FillServer, ModelRegistry, ServeConfig, ServeClient
+from repro.serve.server import serve_tcp
+from repro.surrogate import (
+    NUM_FEATURE_CHANNELS,
+    HeightNormalizer,
+    save_surrogate,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+JSON_PATH = REPO_ROOT / "BENCH_serve.json"
+SRC_DIR = REPO_ROOT / "src"
+
+SMOKE = os.environ.get("NEURFILL_BENCH_SMOKE", "0") not in ("0", "")
+
+if SMOKE:
+    GRID = 8
+    CONCURRENCY = (1, 4)
+    JOBS_PER_CLIENT = 1
+    CLI_INVOCATIONS = 2
+else:
+    GRID = 12
+    CONCURRENCY = (1, 4, 16)
+    JOBS_PER_CLIENT = 2
+    CLI_INVOCATIONS = 16
+
+WORKERS = 16
+MODEL_NAME = "pkb"
+BASE_CHANNELS = 4
+DEPTH = 2
+
+
+# ----------------------------------------------------------------------
+def _workspace(tmp_root: Path) -> tuple[str, str]:
+    """Write the bench layout and a random-weight checkpoint."""
+    layout = DESIGN_BUILDERS["A"](rows=GRID, cols=GRID, seed=3)
+    layout_path = tmp_root / "serve_bench_layout.json"
+    save_layout(layout, str(layout_path))
+    unet = UNet(in_channels=NUM_FEATURE_CHANNELS, out_channels=1,
+                base_channels=BASE_CHANNELS, depth=DEPTH, rng=0)
+    ckpt = save_surrogate(tmp_root / "serve_bench_ckpt", unet,
+                          HeightNormalizer(6000.0, 40.0),
+                          base_channels=BASE_CHANNELS, depth=DEPTH)
+    return str(layout_path), str(ckpt)
+
+
+class _TcpServer:
+    """An in-process ``serve_tcp`` on an ephemeral port."""
+
+    def __init__(self, ckpt: str, max_batch: int):
+        registry = ModelRegistry()
+        registry.register(MODEL_NAME, ckpt)
+        self.server = FillServer(
+            registry=registry,
+            serve_config=ServeConfig(workers=WORKERS, queue_capacity=64,
+                                     max_batch=max_batch, flush_ms=2.0,
+                                     allow_train=False),
+        )
+        self._address = None
+        self._ready = threading.Event()
+
+        def on_ready(address):
+            self._address = address
+            self._ready.set()
+
+        self._thread = threading.Thread(
+            target=serve_tcp, args=(self.server,),
+            kwargs={"port": 0, "ready": on_ready}, daemon=True)
+        self._thread.start()
+        assert self._ready.wait(timeout=30), "serve_tcp never became ready"
+
+    @property
+    def port(self) -> int:
+        return self._address[1]
+
+    def stats(self) -> dict:
+        return self.server.stats_snapshot()
+
+    def stop(self) -> None:
+        self.server.shutdown(timeout=60.0)
+        self._thread.join(timeout=30.0)
+
+
+def _percentiles(latencies: list[float]) -> dict:
+    ordered = sorted(latencies)
+    out = {}
+    for q in (50, 95, 99):
+        idx = min(len(ordered) - 1, max(0, round(q / 100 * (len(ordered) - 1))))
+        out[f"p{q}_s"] = round(ordered[idx], 3)
+    return out
+
+
+def _run_load(port: int, layout_path: str, clients: int,
+              jobs_per_client: int, op: str = "fill") -> dict:
+    """``clients`` connections, each submitting jobs back to back."""
+    latencies: list[float] = []
+    errors: list[BaseException] = []
+    lock = threading.Lock()
+    barrier = threading.Barrier(clients + 1)
+
+    def client_loop():
+        connection = ServeClient.connect("127.0.0.1", port, timeout=30.0)
+        try:
+            barrier.wait(timeout=60)
+            for _ in range(jobs_per_client):
+                t0 = time.perf_counter()
+                if op == "simulate":
+                    connection.simulate(layout_path=layout_path,
+                                        timeout=600.0)
+                else:
+                    connection.fill(layout_path=layout_path,
+                                    method="neurfill-pkb", model=MODEL_NAME,
+                                    score=False, timeout=600.0)
+                with lock:
+                    latencies.append(time.perf_counter() - t0)
+        except BaseException as exc:
+            with lock:
+                errors.append(exc)
+        finally:
+            connection.close(wait_proc=False)
+
+    threads = [threading.Thread(target=client_loop) for _ in range(clients)]
+    for t in threads:
+        t.start()
+    barrier.wait(timeout=60)
+    t0 = time.perf_counter()
+    for t in threads:
+        t.join()
+    wall_s = time.perf_counter() - t0
+    if errors:
+        raise errors[0]
+    jobs = clients * jobs_per_client
+    return {
+        "clients": clients,
+        "jobs": jobs,
+        "wall_s": round(wall_s, 3),
+        "throughput_jobs_per_s": round(jobs / wall_s, 3),
+        **_percentiles(latencies),
+    }
+
+
+def _bench_served(ckpt: str, layout_path: str, max_batch: int) -> dict:
+    tcp = _TcpServer(ckpt, max_batch=max_batch)
+    try:
+        # one warm-up job pays binding + conv planning outside the clock
+        warm = ServeClient.connect("127.0.0.1", tcp.port, timeout=30.0)
+        warm.fill(layout_path=layout_path, method="neurfill-pkb",
+                  model=MODEL_NAME, score=False, timeout=600.0)
+        warm.close(wait_proc=False)
+        runs = [_run_load(tcp.port, layout_path, c, JOBS_PER_CLIENT)
+                for c in CONCURRENCY]
+        stats = tcp.stats()
+    finally:
+        tcp.stop()
+    return {
+        "max_batch": max_batch,
+        "runs": runs,
+        "batch_histogram": stats["batch_histogram"],
+        "stage_latency_ms": stats["latency"],
+    }
+
+
+def _bench_simulate(ckpt: str, layout_path: str) -> dict:
+    """The amortisation-only comparison: resident simulate jobs vs cold
+    ``repro simulate`` processes (no surrogate compute on either side)."""
+    tcp = _TcpServer(ckpt, max_batch=1)
+    try:
+        warm = ServeClient.connect("127.0.0.1", tcp.port, timeout=30.0)
+        warm.simulate(layout_path=layout_path, timeout=600.0)
+        warm.close(wait_proc=False)
+        served = _run_load(tcp.port, layout_path, CONCURRENCY[-1],
+                           JOBS_PER_CLIENT, op="simulate")
+    finally:
+        tcp.stop()
+    cold = _bench_cold_cli(None, layout_path, op="simulate")
+    return {
+        "served": served,
+        "cold_cli": cold,
+        "speedup": round(served["throughput_jobs_per_s"]
+                         / cold["throughput_jobs_per_s"], 2),
+    }
+
+
+def _bench_cold_cli(ckpt: str | None, layout_path: str,
+                    op: str = "fill") -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC_DIR) + os.pathsep + env.get("PYTHONPATH", "")
+    if op == "simulate":
+        cmd = [sys.executable, "-m", "repro", "simulate", layout_path]
+    else:
+        cmd = [sys.executable, "-m", "repro", "fill", layout_path,
+               "--method", "neurfill-pkb", "--model", ckpt]
+    durations = []
+    t0 = time.perf_counter()
+    for _ in range(CLI_INVOCATIONS):
+        t1 = time.perf_counter()
+        subprocess.run(cmd, env=env, check=True,
+                       stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+        durations.append(time.perf_counter() - t1)
+    wall_s = time.perf_counter() - t0
+    return {
+        "invocations": CLI_INVOCATIONS,
+        "wall_s": round(wall_s, 3),
+        "throughput_jobs_per_s": round(CLI_INVOCATIONS / wall_s, 3),
+        "per_invocation_s": round(wall_s / CLI_INVOCATIONS, 3),
+        **_percentiles(durations),
+    }
+
+
+# ----------------------------------------------------------------------
+def test_serve_throughput(benchmark, tmp_path):
+    layout_path, ckpt = _workspace(tmp_path)
+
+    batched = benchmark.pedantic(
+        lambda: _bench_served(ckpt, layout_path, max_batch=16),
+        rounds=1, iterations=1)
+    unbatched = _bench_served(ckpt, layout_path, max_batch=1)
+    cold = _bench_cold_cli(ckpt, layout_path)
+    simulate = _bench_simulate(ckpt, layout_path)
+
+    report = {
+        "smoke": SMOKE,
+        "cpu_count": os.cpu_count(),
+        "numpy": np.__version__,
+        "grid": GRID,
+        "workers": WORKERS,
+        "jobs_per_client": JOBS_PER_CLIENT,
+        "served_batched": batched,
+        "served_unbatched": unbatched,
+        "cold_cli": cold,
+        "simulate_jobs": simulate,
+    }
+    top = batched["runs"][-1]
+    report["peak_served_vs_cold_cli_speedup"] = round(
+        top["throughput_jobs_per_s"] / cold["throughput_jobs_per_s"], 2)
+    if os.cpu_count() == 1:
+        report["note"] = (
+            "single-core host: fill jobs are compute-bound so concurrent "
+            "serving cannot parallelise them; the amortisation win is "
+            "measured by simulate_jobs (resident vs per-process cold start)"
+        )
+    JSON_PATH.write_text(json.dumps(report, indent=2) + "\n")
+
+    lines = [f"Serve bench ({'smoke' if SMOKE else 'full'} mode, "
+             f"{GRID}x{GRID} grid, {WORKERS} workers, "
+             f"{os.cpu_count()} cores):"]
+    for label, block in (("batched", batched), ("unbatched", unbatched)):
+        for run in block["runs"]:
+            lines.append(
+                f"  served/{label:>9} x{run['clients']:>2} clients: "
+                f"{run['throughput_jobs_per_s']:6.2f} jobs/s  "
+                f"p50 {run['p50_s']:.2f}s p95 {run['p95_s']:.2f}s "
+                f"p99 {run['p99_s']:.2f}s"
+            )
+        lines.append(f"  served/{label:>9} batch histogram: "
+                     f"{block['batch_histogram']}")
+    lines.append(
+        f"  cold CLI x{cold['invocations']} sequential: "
+        f"{cold['throughput_jobs_per_s']:6.2f} jobs/s "
+        f"({cold['per_invocation_s']:.2f}s per invocation)"
+    )
+    lines.append(
+        f"  peak served vs cold CLI (fill): "
+        f"{report['peak_served_vs_cold_cli_speedup']:.2f}x"
+    )
+    lines.append(
+        f"  simulate jobs x{CONCURRENCY[-1]} clients: "
+        f"{simulate['served']['throughput_jobs_per_s']:6.2f} jobs/s served "
+        f"vs {simulate['cold_cli']['throughput_jobs_per_s']:6.2f} jobs/s "
+        f"cold CLI ({simulate['speedup']:.1f}x)"
+    )
+    if "note" in report:
+        lines.append(f"  note: {report['note']}")
+    write_output("serve", "\n".join(lines))
+
+    # Sanity always; throughput claims only in full mode (smoke shapes
+    # are too small for amortisation to dominate).
+    for block in (batched, unbatched):
+        for run in block["runs"]:
+            assert run["throughput_jobs_per_s"] > 0
+    assert batched["batch_histogram"], "no micro-batches were flushed"
+    if not SMOKE:
+        assert simulate["speedup"] >= 2.0, (
+            "resident simulate jobs did not reach 2x over cold CLI"
+        )
+        if os.cpu_count() and os.cpu_count() >= 2:
+            # fill jobs are compute-bound: concurrent serving can only
+            # beat sequential cold processes when cores exist to share
+            assert report["peak_served_vs_cold_cli_speedup"] >= 2.0, (
+                "resident serve did not reach 2x over cold CLI invocations"
+            )

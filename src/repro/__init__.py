@@ -19,9 +19,21 @@ Subpackages
     Lin (rule LP), Tao (rule SQP), Cai (model-based numerical-gradient).
 ``repro.evaluation``
     Comparison harness and table builders.
+``repro.serve``
+    Resident batching service: registry, job queue, workers, journal.
 """
 
-from . import baselines, cmp, core, evaluation, layout, nn, optimize, surrogate
+from . import (
+    baselines,
+    cmp,
+    core,
+    evaluation,
+    layout,
+    nn,
+    optimize,
+    serve,
+    surrogate,
+)
 from .cmp import CmpSimulator, ProcessParams
 from .core import FillProblem, NeurFill, ScoreCoefficients, evaluate_solution
 from .layout import Layout, make_design
@@ -47,5 +59,6 @@ __all__ = [
     "nn",
     "optimize",
     "pretrain_surrogate",
+    "serve",
     "surrogate",
 ]

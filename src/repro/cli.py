@@ -2,29 +2,42 @@
 
 Subcommands cover the full flow a downstream user needs:
 
-* ``gen-design`` — write one of the synthetic benchmark designs to JSON;
-* ``simulate``   — run the full-chip CMP simulator on a layout and print
+* ``gen-design``      — write one of the synthetic benchmark designs to JSON;
+* ``simulate``        — run the full-chip CMP simulator on a layout and print
   the post-CMP planarity metrics;
-* ``fill``       — synthesise dummy fill (lin / tao / neurfill-pkb /
+* ``fill``            — synthesise dummy fill (lin / tao / neurfill-pkb /
   neurfill-mm), optionally emit dummy shapes, and print the
   simulator-judged score;
-* ``compare``    — the Table III harness on one layout.
+* ``compare``         — the Table III harness on one layout;
+* ``train-surrogate`` — pre-train a CMP surrogate and save a checkpoint;
+* ``serve``           — run the resident batching service (line-JSON over
+  a stdin/stdout pipe or TCP; see ``repro.serve``).
 
 Examples::
 
     python -m repro gen-design A --rows 16 --cols 16 -o a.json
     python -m repro simulate a.json
     python -m repro fill a.json --method neurfill-pkb --shapes-out fill.json
+    python -m repro train-surrogate a.json -o ckpt/
+    python -m repro fill a.json --model ckpt/        # skip re-training
+    python -m repro serve --pipe --model pkb=ckpt/
     python -m repro compare a.json --skip-cai
+
+Bad inputs (missing layout files, absent checkpoints, malformed JSON)
+exit non-zero with a one-line ``repro: error: ...`` message instead of a
+traceback.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 
 import numpy as np
 
+from . import __version__
 from .baselines import cai_fill, lin_fill, tao_fill
 from .cmp import CmpSimulator
 from .core import (
@@ -38,13 +51,24 @@ from .evaluation import format_table3, run_comparison
 from .insertion import insert_dummies, save_shapes
 from .layout import load_layout, make_design, save_layout
 from .optimize import SqpOptimizer
-from .surrogate import TrainConfig, pretrain_surrogate
+from .surrogate import (
+    TrainConfig,
+    load_surrogate,
+    pretrain_surrogate,
+    save_surrogate,
+)
+
+
+class CliError(Exception):
+    """User-facing error: printed as one line, exits with code 2."""
 
 
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="NeurFill dummy filling toolkit"
     )
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     gen = sub.add_parser("gen-design", help="generate a synthetic benchmark design")
@@ -64,6 +88,9 @@ def _build_parser() -> argparse.ArgumentParser:
     fill.add_argument("--method", default="neurfill-pkb",
                       choices=["lin", "tao", "cai", "neurfill-pkb",
                                "neurfill-mm"])
+    fill.add_argument("--model", default=None, metavar="CKPT_DIR",
+                      help="load a saved surrogate checkpoint instead of "
+                           "training one (neurfill methods)")
     fill.add_argument("--train-samples", type=int, default=30)
     fill.add_argument("--train-epochs", type=int, default=20)
     fill.add_argument("--seed", type=int, default=0)
@@ -74,13 +101,68 @@ def _build_parser() -> argparse.ArgumentParser:
     comp.add_argument("layout")
     comp.add_argument("--skip-cai", action="store_true",
                       help="skip the slow numerical-gradient baseline")
+    comp.add_argument("--model", default=None, metavar="CKPT_DIR",
+                      help="load a saved surrogate instead of training")
     comp.add_argument("--train-samples", type=int, default=30)
     comp.add_argument("--train-epochs", type=int, default=20)
+
+    train = sub.add_parser("train-surrogate",
+                           help="pre-train a CMP surrogate and save it")
+    train.add_argument("layout")
+    train.add_argument("-o", "--output", required=True,
+                       help="checkpoint directory to write")
+    train.add_argument("--train-samples", type=int, default=30)
+    train.add_argument("--train-epochs", type=int, default=20)
+    train.add_argument("--base-channels", type=int, default=8)
+    train.add_argument("--depth", type=int, default=2)
+    train.add_argument("--seed", type=int, default=0)
+
+    serve = sub.add_parser(
+        "serve", help="run the resident batching fill service")
+    mode = serve.add_mutually_exclusive_group()
+    mode.add_argument("--pipe", action="store_true",
+                      help="line-JSON over stdin/stdout (default)")
+    mode.add_argument("--tcp", metavar="HOST:PORT",
+                      help="listen on a TCP socket, e.g. 127.0.0.1:7421")
+    serve.add_argument("--model", action="append", default=[],
+                       metavar="NAME=CKPT_DIR",
+                       help="register a surrogate checkpoint (repeatable)")
+    serve.add_argument("--workers", type=int, default=None,
+                       help="worker threads (default REPRO_SERVE_WORKERS)")
+    serve.add_argument("--queue-capacity", type=int, default=None,
+                       help="bounded queue size before rejection")
+    serve.add_argument("--max-batch", type=int, default=None,
+                       help="largest coalesced micro-batch (1 disables)")
+    serve.add_argument("--flush-ms", type=float, default=None,
+                       help="max-latency flush window in milliseconds")
+    serve.add_argument("--no-coalesce", action="store_true",
+                       help="shorthand for --max-batch 1 (strict one-shot "
+                            "numerical parity)")
+    serve.add_argument("--journal", default=None, metavar="PATH",
+                       help="crash-safe job journal; resumes unfinished "
+                            "jobs recorded by a previous run")
+    serve.add_argument("--default-timeout", type=float, default=None,
+                       help="per-job timeout in seconds when the request "
+                            "does not set one")
+    serve.add_argument("--drain-timeout", type=float, default=None,
+                       help="seconds a graceful shutdown waits for "
+                            "in-flight jobs")
+    serve.add_argument("--no-train", action="store_true",
+                       help="reject neurfill jobs without a registered "
+                            "model instead of training inline")
     return parser
 
 
 def _load_layout_arg(path: str):
-    return load_layout(path)
+    file = Path(path)
+    if not file.is_file():
+        raise CliError(f"layout file not found: {path}")
+    try:
+        return load_layout(file)
+    except json.JSONDecodeError as exc:
+        raise CliError(f"{path} is not valid JSON: {exc}")
+    except (KeyError, ValueError, TypeError) as exc:
+        raise CliError(f"{path} is not a valid layout file: {exc}")
 
 
 def _cmd_gen_design(args) -> int:
@@ -94,7 +176,10 @@ def _cmd_gen_design(args) -> int:
     else:
         layout = make_design(args.design, **({"seed": args.seed}
                                              if args.seed is not None else {}))
-    save_layout(layout, args.output)
+    try:
+        save_layout(layout, args.output)
+    except OSError as exc:
+        raise CliError(f"cannot write {args.output}: {exc}")
     print(f"wrote {layout.name} ({layout.grid.rows}x{layout.grid.cols} windows, "
           f"{layout.num_layers} layers) to {args.output}")
     return 0
@@ -120,16 +205,21 @@ def _cmd_simulate(args) -> int:
 
 
 def _make_neurfill(layout, problem, simulator, args) -> NeurFill:
-    rows, cols = layout.grid.shape
-    print("pre-training the CMP neural network ...", file=sys.stderr)
-    network, _, report = pretrain_surrogate(
-        [layout], layout, sample_count=args.train_samples,
-        tile_rows=rows, tile_cols=cols, base_channels=8, depth=2,
-        config=TrainConfig(epochs=args.train_epochs, batch_size=8),
-        simulator=simulator, seed=args.seed if hasattr(args, "seed") else 0,
-    )
-    print(f"surrogate relative error: {report.mean_relative_error * 100:.2f}%",
-          file=sys.stderr)
+    model_dir = getattr(args, "model", None)
+    if model_dir:
+        network = load_surrogate(model_dir, layout)
+        print(f"loaded surrogate checkpoint {model_dir}", file=sys.stderr)
+    else:
+        rows, cols = layout.grid.shape
+        print("pre-training the CMP neural network ...", file=sys.stderr)
+        network, _, report = pretrain_surrogate(
+            [layout], layout, sample_count=args.train_samples,
+            tile_rows=rows, tile_cols=cols, base_channels=8, depth=2,
+            config=TrainConfig(epochs=args.train_epochs, batch_size=8),
+            simulator=simulator, seed=args.seed if hasattr(args, "seed") else 0,
+        )
+        print(f"surrogate relative error: {report.mean_relative_error * 100:.2f}%",
+              file=sys.stderr)
     return NeurFill(problem, network,
                     optimizer=SqpOptimizer(max_iter=80, tol=1e-9),
                     simulator=simulator)
@@ -150,10 +240,8 @@ def _cmd_fill(args) -> int:
         result = cai_fill(problem, simulator=simulator, max_sqp_iterations=3)
     else:
         neurfill = _make_neurfill(layout, problem, simulator, args)
-        if args.method == "neurfill-pkb":
-            result = neurfill.run_pkb()
-        else:
-            result = neurfill.run_multimodal(max_evaluations=500, top_k=3)
+        result = neurfill.run(args.method, seed=args.seed,
+                              max_evaluations=500, top_k=3)
 
     score = evaluate_solution(problem, result.fill, args.method, simulator,
                               runtime_s=result.runtime_s)
@@ -195,6 +283,81 @@ def _cmd_compare(args) -> int:
     return 0
 
 
+def _cmd_train_surrogate(args) -> int:
+    layout = _load_layout_arg(args.layout)
+    simulator = CmpSimulator()
+    rows, cols = layout.grid.shape
+    print("pre-training the CMP neural network ...", file=sys.stderr)
+    network, _, report = pretrain_surrogate(
+        [layout], layout, sample_count=args.train_samples,
+        tile_rows=rows, tile_cols=cols,
+        base_channels=args.base_channels, depth=args.depth,
+        config=TrainConfig(epochs=args.train_epochs, batch_size=8),
+        simulator=simulator, seed=args.seed,
+    )
+    save_surrogate(args.output, network.unet, network.normalizer,
+                   base_channels=args.base_channels, depth=args.depth)
+    print(f"saved surrogate checkpoint to {args.output} "
+          f"(relative error {report.mean_relative_error * 100:.2f}%)")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from .serve import FillServer, ModelRegistry, ServeConfig
+    from .serve.server import serve_pipe, serve_tcp
+
+    registry = ModelRegistry()
+    for spec in args.model:
+        try:
+            model = registry.register_spec(spec)
+        except (FileNotFoundError, ValueError) as exc:
+            raise CliError(str(exc))
+        print(f"registered model {model.name!r} from {model.directory}",
+              file=sys.stderr)
+
+    overrides = {}
+    if args.workers is not None:
+        overrides["workers"] = args.workers
+    if args.queue_capacity is not None:
+        overrides["queue_capacity"] = args.queue_capacity
+    if args.no_coalesce:
+        overrides["max_batch"] = 1
+    elif args.max_batch is not None:
+        overrides["max_batch"] = args.max_batch
+    if args.flush_ms is not None:
+        overrides["flush_ms"] = args.flush_ms
+    if args.default_timeout is not None:
+        overrides["default_timeout_s"] = args.default_timeout
+    if args.drain_timeout is not None:
+        overrides["drain_timeout_s"] = args.drain_timeout
+    if args.no_train:
+        overrides["allow_train"] = False
+    try:
+        serve_config = ServeConfig(**overrides)
+    except ValueError as exc:
+        raise CliError(str(exc))
+
+    server = FillServer(registry=registry, serve_config=serve_config,
+                        journal_path=args.journal)
+    if args.tcp:
+        host, sep, port = args.tcp.rpartition(":")
+        if not sep or not port.isdigit():
+            raise CliError(f"bad --tcp address {args.tcp!r}: "
+                           f"expected HOST:PORT")
+
+        def announce(address):
+            print(f"repro serve listening on {address[0]}:{address[1]}",
+                  file=sys.stderr)
+
+        return serve_tcp(server, host or "127.0.0.1", int(port),
+                         ready=announce)
+    print("repro serve ready on stdin/stdout "
+          f"({serve_config.workers} workers, queue "
+          f"{serve_config.queue_capacity}, max batch "
+          f"{serve_config.max_batch})", file=sys.stderr)
+    return serve_pipe(server)
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -203,8 +366,19 @@ def main(argv: list[str] | None = None) -> int:
         "simulate": _cmd_simulate,
         "fill": _cmd_fill,
         "compare": _cmd_compare,
+        "train-surrogate": _cmd_train_surrogate,
+        "serve": _cmd_serve,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except CliError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        return 130
 
 
 if __name__ == "__main__":

@@ -69,6 +69,64 @@ def conv_plan_cache_path() -> Path | None:
     return Path("~/.cache/repro/conv_plans.json").expanduser()
 
 
+# ----------------------------------------------------------------------
+# repro.serve defaults.  Every knob has a CLI flag; the environment
+# variables let deployments retune a service without editing unit files.
+
+#: Worker threads executing jobs (``REPRO_SERVE_WORKERS``).
+DEFAULT_SERVE_WORKERS: int = 4
+
+#: Bounded job-queue capacity before backpressure rejection
+#: (``REPRO_SERVE_QUEUE``).
+DEFAULT_SERVE_QUEUE_CAPACITY: int = 64
+
+#: Largest micro-batch the coalescing batcher assembles
+#: (``REPRO_SERVE_MAX_BATCH``); ``1`` disables coalescing.
+DEFAULT_SERVE_MAX_BATCH: int = 16
+
+#: Max-latency flush window of the batcher in milliseconds
+#: (``REPRO_SERVE_FLUSH_MS``) — the longest an evaluation waits for
+#: co-batchable traffic before running anyway.
+DEFAULT_SERVE_FLUSH_MS: float = 4.0
+
+#: Seconds a draining shutdown waits for in-flight jobs.
+DEFAULT_SERVE_DRAIN_TIMEOUT_S: float = 30.0
+
+
+def _env_number(name: str, default: float, kind: type,
+                minimum: float) -> float:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        value = kind(raw)
+    except ValueError:
+        raise ValueError(f"{name}={raw!r}: expected a {kind.__name__}")
+    if value < minimum:
+        raise ValueError(f"{name}={raw!r}: must be >= {minimum}")
+    return value
+
+
+def serve_workers_default() -> int:
+    return int(_env_number("REPRO_SERVE_WORKERS", DEFAULT_SERVE_WORKERS,
+                           int, 1))
+
+
+def serve_queue_capacity_default() -> int:
+    return int(_env_number("REPRO_SERVE_QUEUE",
+                           DEFAULT_SERVE_QUEUE_CAPACITY, int, 1))
+
+
+def serve_max_batch_default() -> int:
+    return int(_env_number("REPRO_SERVE_MAX_BATCH",
+                           DEFAULT_SERVE_MAX_BATCH, int, 1))
+
+
+def serve_flush_ms_default() -> float:
+    return _env_number("REPRO_SERVE_FLUSH_MS", DEFAULT_SERVE_FLUSH_MS,
+                       float, 0.0)
+
+
 def rng_from_seed(seed: int | np.random.Generator | None) -> np.random.Generator:
     """Return a :class:`numpy.random.Generator` for ``seed``.
 

@@ -170,6 +170,39 @@ class NeurFill:
         )
 
     # ------------------------------------------------------------------
+    def run(
+        self,
+        method: str,
+        *,
+        seed: int = 0,
+        max_evaluations: int = 500,
+        top_k: int = 3,
+        num_candidates: int = 9,
+    ) -> FillResult:
+        """Dispatch a synthesis mode by its CLI/serve method tag.
+
+        Shared entry point of the one-shot CLI and :mod:`repro.serve`, so
+        a served job runs the exact code path of ``repro fill`` — the
+        basis of the served-equals-CLI parity guarantee.
+
+        Args:
+            method: ``"neurfill-pkb"``/``"pkb"`` or
+                ``"neurfill-mm"``/``"mm"``.
+            seed / max_evaluations / top_k: forwarded to
+                :meth:`run_multimodal` (ignored by PKB).
+            num_candidates: forwarded to :meth:`run_pkb` (ignored by MM).
+        """
+        if method in ("pkb", "neurfill-pkb"):
+            return self.run_pkb(num_candidates=num_candidates)
+        if method in ("mm", "neurfill-mm"):
+            return self.run_multimodal(
+                max_evaluations=max_evaluations, top_k=top_k, seed=seed)
+        raise ValueError(
+            f"unknown NeurFill method {method!r}; expected "
+            f"'neurfill-pkb' or 'neurfill-mm'"
+        )
+
+    # ------------------------------------------------------------------
     def run_from_start(self, start: np.ndarray, method: str = "neurfill-custom") -> FillResult:
         """Single-start SQP refinement from a caller-provided fill."""
         t0 = time.perf_counter()

@@ -1,0 +1,56 @@
+"""``repro.serve``: a resident, batching fill-synthesis service.
+
+The one-shot CLI re-pays model loading, conv-plan warmup and score
+calibration on every invocation.  This subsystem keeps surrogates
+resident (model registry), admits work through a bounded priority queue
+with backpressure, coalesces concurrent surrogate evaluations into
+dynamic micro-batches (the PR 1 ``evaluate_batch`` primitive), and
+survives crashes via an accept/done journal.  See DESIGN.md "Serving"
+for the micro-batching policy and its numerical-fidelity contract.
+"""
+
+from .batcher import CoalescedNetwork, MicroBatcher
+from .client import ServeClient, ServeError
+from .jobqueue import BoundedJobQueue, Job, JobState
+from .journal import JobJournal
+from .protocol import (
+    JOB_OPS,
+    OPS,
+    ProtocolError,
+    Request,
+    decode,
+    encode,
+    parse_request,
+    response,
+)
+from .registry import ModelRegistry, RegisteredModel, layout_fingerprint
+from .server import FillServer, ServeConfig, serve_pipe, serve_tcp
+from .stats import LatencyTracker, ServeStats
+
+__all__ = [
+    "BoundedJobQueue",
+    "CoalescedNetwork",
+    "FillServer",
+    "JOB_OPS",
+    "Job",
+    "JobJournal",
+    "JobState",
+    "LatencyTracker",
+    "MicroBatcher",
+    "ModelRegistry",
+    "OPS",
+    "ProtocolError",
+    "RegisteredModel",
+    "Request",
+    "ServeClient",
+    "ServeConfig",
+    "ServeError",
+    "ServeStats",
+    "decode",
+    "encode",
+    "layout_fingerprint",
+    "parse_request",
+    "response",
+    "serve_pipe",
+    "serve_tcp",
+]

@@ -1,0 +1,223 @@
+"""Dynamic micro-batching of concurrent surrogate evaluations.
+
+Concurrent jobs against the same bound surrogate each drive their own
+SQP refinement, which issues one network forward/backward at a time.
+Run naively, W worker threads make W independent single-fill passes and
+the network's batch axis — exactly what PR 1's batched MSP-SQP exploits
+*within* one job — sits idle *across* jobs.
+
+:class:`MicroBatcher` closes that gap.  Worker threads call
+:meth:`evaluate`; the call parks until either ``max_batch`` requests
+have gathered or the oldest request has waited ``max_delay_s`` (the
+max-latency flush knob), then one flusher thread runs the whole group
+through :meth:`CmpNeuralNetwork.evaluate_batch
+<repro.surrogate.network.CmpNeuralNetwork.evaluate_batch>` — the same
+stacked-pass primitive batched MSP-SQP is built on — and scatters the
+per-request results.
+
+Fidelity contract (see DESIGN.md "Serving"): a coalesced group of K
+requests returns **bitwise** what ``evaluate_batch`` returns for those K
+fills stacked — coalescing adds no arithmetic of its own.  A singleton
+flush (K = 1) is in turn bitwise-identical to the sequential
+``evaluate`` path, because the stacked ``(1·L, C, N, M)`` pass runs the
+identical computation; for K > 1 the repo-wide batched-evaluation
+contract applies (equal up to BLAS contraction order at the last ulp,
+observed ≤ 1e-10).  Requests only coalesce when they share the bound
+network *and* the planarity weights, so different layouts/models/designs
+never mix.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+import time
+
+import numpy as np
+
+from ..surrogate.network import CmpNeuralNetwork, PlanarityEvaluation
+from ..surrogate.objectives import PlanarityWeights
+from .stats import ServeStats
+
+
+class _PendingEval:
+    """One parked evaluation awaiting a flush."""
+
+    __slots__ = ("fill", "want_grad", "enqueued_at", "event", "result",
+                 "error")
+
+    def __init__(self, fill: np.ndarray, want_grad: bool):
+        self.fill = fill
+        self.want_grad = want_grad
+        self.enqueued_at = time.monotonic()
+        self.event = threading.Event()
+        self.result: PlanarityEvaluation | None = None
+        self.error: BaseException | None = None
+
+
+class MicroBatcher:
+    """Coalesces single-fill evaluations against one bound network.
+
+    Args:
+        network: the bound :class:`CmpNeuralNetwork` to evaluate on.
+        max_batch: flush as soon as this many requests are parked;
+            ``1`` disables coalescing (calls pass straight through).
+        max_delay_s: flush the oldest request after waiting this long
+            even if the batch is not full — bounds added latency.
+        stats: optional sink for the batch-size histogram.
+    """
+
+    def __init__(self, network: CmpNeuralNetwork, max_batch: int = 16,
+                 max_delay_s: float = 0.004,
+                 stats: ServeStats | None = None):
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_delay_s < 0:
+            raise ValueError(f"max_delay_s must be >= 0, got {max_delay_s}")
+        self.network = network
+        self.max_batch = max_batch
+        self.max_delay_s = max_delay_s
+        self.stats = stats
+        self._pending: dict[tuple, list[_PendingEval]] = {}
+        self._cond = threading.Condition()
+        self._closed = False
+        self._thread: threading.Thread | None = None
+        if max_batch > 1:
+            self._thread = threading.Thread(
+                target=self._flush_loop, name="repro-serve-batcher",
+                daemon=True,
+            )
+            self._thread.start()
+
+    # ------------------------------------------------------------------
+    def evaluate(self, fill: np.ndarray, weights: PlanarityWeights,
+                 want_grad: bool = True) -> PlanarityEvaluation:
+        """Drop-in for ``network.evaluate``, transparently coalesced."""
+        if self.max_batch <= 1:
+            return self.network.evaluate(fill, weights, want_grad=want_grad)
+        pending = _PendingEval(np.asarray(fill, dtype=float), want_grad)
+        key = dataclasses.astuple(weights)
+        with self._cond:
+            if self._closed:  # flusher may already have drained and exited
+                parked = False
+            else:
+                self._pending.setdefault(key, []).append(pending)
+                parked = True
+                self._cond.notify_all()
+        if not parked:
+            return self.network.evaluate(fill, weights, want_grad=want_grad)
+        pending.event.wait()
+        if pending.error is not None:
+            raise pending.error
+        assert pending.result is not None
+        return pending.result
+
+    def close(self) -> None:
+        """Stop the flusher after draining every parked request."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+
+    # ------------------------------------------------------------------
+    def _take_group(self) -> tuple[tuple, list[_PendingEval]] | None:
+        """Pop the most urgent flushable group, or ``None`` to keep waiting.
+
+        Must be called with the condition held.  A group flushes when it
+        is full or its oldest member exceeded ``max_delay_s`` (always,
+        when the batcher is closing).
+        """
+        now = time.monotonic()
+        best_key, best_age = None, -1.0
+        for key, group in self._pending.items():
+            age = now - group[0].enqueued_at
+            if len(group) >= self.max_batch or self._closed \
+                    or age >= self.max_delay_s:
+                if age > best_age:
+                    best_key, best_age = key, age
+        if best_key is None:
+            return None
+        group = self._pending[best_key]
+        take, rest = group[:self.max_batch], group[self.max_batch:]
+        if rest:
+            self._pending[best_key] = rest
+        else:
+            del self._pending[best_key]
+        return best_key, take
+
+    def _next_deadline(self) -> float | None:
+        """Monotonic time of the earliest pending flush (cond held)."""
+        oldest = None
+        for group in self._pending.values():
+            t = group[0].enqueued_at
+            if oldest is None or t < oldest:
+                oldest = t
+        return None if oldest is None else oldest + self.max_delay_s
+
+    def _flush_loop(self) -> None:
+        while True:
+            with self._cond:
+                while True:
+                    taken = self._take_group()
+                    if taken is not None:
+                        break
+                    if self._closed and not self._pending:
+                        return
+                    deadline = self._next_deadline()
+                    timeout = (None if deadline is None
+                               else max(0.0, deadline - time.monotonic()))
+                    self._cond.wait(timeout)
+            key, group = taken
+            self._run_group(key, group)
+
+    def _run_group(self, key: tuple, group: list[_PendingEval]) -> None:
+        weights = PlanarityWeights(*key)
+        try:
+            fills = np.stack([p.fill for p in group])
+            mask = np.array([p.want_grad for p in group], dtype=bool)
+            batch = self.network.evaluate_batch(fills, weights,
+                                                grad_mask=mask)
+            for k, p in enumerate(group):
+                gradient = None
+                if p.want_grad and batch.gradient is not None:
+                    gradient = batch.gradient[k].copy()
+                p.result = PlanarityEvaluation(
+                    s_plan=float(batch.s_plan[k]),
+                    breakdown=batch.breakdowns[k],
+                    heights=batch.heights[k].copy(),
+                    gradient=gradient,
+                )
+        except BaseException as exc:  # propagate into every waiter
+            for p in group:
+                p.error = exc
+        finally:
+            if self.stats is not None:
+                self.stats.record_batch(len(group))
+            for p in group:
+                p.event.set()
+
+
+class CoalescedNetwork:
+    """A :class:`CmpNeuralNetwork` facade routing single evaluations
+    through a shared :class:`MicroBatcher`.
+
+    Hands ``evaluate`` to the batcher and delegates everything else
+    (``layout``, ``evaluate_batch``, ``predict_heights``, ...) to the
+    wrapped network, so :class:`repro.core.msp_sqp.QualityModel` and
+    :class:`repro.core.neurfill.NeurFill` work unmodified.  In-job
+    stacked passes (batched MSP-SQP) are already batched and pass
+    through untouched.
+    """
+
+    def __init__(self, network: CmpNeuralNetwork, batcher: MicroBatcher):
+        self._network = network
+        self._batcher = batcher
+
+    def evaluate(self, fill: np.ndarray, weights: PlanarityWeights,
+                 want_grad: bool = True) -> PlanarityEvaluation:
+        return self._batcher.evaluate(fill, weights, want_grad=want_grad)
+
+    def __getattr__(self, name: str):
+        return getattr(self._network, name)

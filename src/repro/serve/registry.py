@@ -1,0 +1,142 @@
+"""Model registry: named surrogate checkpoints, warm-loaded and re-bound.
+
+Checkpoints are registered by name at startup (``repro serve --model
+pkb=path/to/ckpt``) and warm-loaded immediately — the UNet weights and
+normalizer come off disk once, so the first request pays no load
+latency and a bad checkpoint fails the server at boot, not a client at
+runtime.  Binding a loaded bundle to an incoming layout only computes
+extraction constants; bound networks are cached per (model, layout
+fingerprint) with a small LRU so memory stays bounded under many
+distinct layouts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..layout.io import layout_to_dict
+from ..layout.layout import Layout
+from ..surrogate.network import CmpNeuralNetwork
+from ..surrogate.persist import (
+    SurrogateBundle,
+    bind_surrogate,
+    load_surrogate_bundle,
+)
+
+
+def layout_fingerprint(layout: Layout) -> str:
+    """Content hash of a layout (stable across processes and paths)."""
+    payload = json.dumps(layout_to_dict(layout), sort_keys=True)
+    return hashlib.sha1(payload.encode()).hexdigest()
+
+
+@dataclass
+class RegisteredModel:
+    """One named checkpoint, already warm."""
+
+    name: str
+    directory: Path
+    bundle: SurrogateBundle
+
+
+class ModelRegistry:
+    """Named surrogate checkpoints plus a bound-network LRU cache.
+
+    Args:
+        max_bound: bound-network cache entries kept per process.  Each
+            entry holds one layout's extraction constants (a few arrays
+            the size of the chip grid); the UNet weights are shared
+            across all bindings of a model.
+    """
+
+    def __init__(self, max_bound: int = 8):
+        if max_bound < 1:
+            raise ValueError(f"max_bound must be >= 1, got {max_bound}")
+        self.max_bound = max_bound
+        self._models: dict[str, RegisteredModel] = {}
+        self._bound: OrderedDict[tuple[str, str], CmpNeuralNetwork]
+        self._bound = OrderedDict()
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def register(self, name: str, directory: str | Path) -> RegisteredModel:
+        """Warm-load a checkpoint under ``name`` (replaces an old one)."""
+        if not name:
+            raise ValueError("model name must be non-empty")
+        bundle = load_surrogate_bundle(directory)
+        model = RegisteredModel(name=name, directory=Path(directory),
+                                bundle=bundle)
+        with self._lock:
+            self._models[name] = model
+            for key in [k for k in self._bound if k[0] == name]:
+                del self._bound[key]  # stale bindings of a replaced model
+        return model
+
+    def register_spec(self, spec: str) -> RegisteredModel:
+        """Register from a ``name=directory`` CLI spec."""
+        name, sep, directory = spec.partition("=")
+        if not sep or not name or not directory:
+            raise ValueError(
+                f"bad model spec {spec!r}: expected NAME=CHECKPOINT_DIR"
+            )
+        return self.register(name, directory)
+
+    # ------------------------------------------------------------------
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._models)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._models)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._models
+
+    def describe(self) -> dict:
+        """Registry contents for the ``models`` introspection op."""
+        with self._lock:
+            return {
+                name: {
+                    "directory": str(model.directory),
+                    "arch": model.bundle.arch,
+                    "numpy": model.bundle.metadata.get("numpy"),
+                }
+                for name, model in self._models.items()
+            }
+
+    # ------------------------------------------------------------------
+    def network_for(self, name: str, layout: Layout,
+                    fingerprint: str | None = None) -> CmpNeuralNetwork:
+        """A bound network for (model, layout), from cache when warm.
+
+        Raises:
+            KeyError: unknown model name (message lists what exists).
+        """
+        with self._lock:
+            if name not in self._models:
+                raise KeyError(
+                    f"unknown model {name!r}; registered: "
+                    f"{sorted(self._models) or '(none)'}"
+                )
+            model = self._models[name]
+        fingerprint = fingerprint or layout_fingerprint(layout)
+        key = (name, fingerprint)
+        with self._lock:
+            cached = self._bound.get(key)
+            if cached is not None:
+                self._bound.move_to_end(key)
+                return cached
+        network = bind_surrogate(model.bundle, layout)
+        with self._lock:
+            self._bound[key] = network
+            self._bound.move_to_end(key)
+            while len(self._bound) > self.max_bound:
+                self._bound.popitem(last=False)
+        return network

@@ -1,0 +1,620 @@
+"""The resident fill-synthesis service.
+
+:class:`FillServer` owns the moving parts — registry, bounded queue,
+worker pool, micro-batchers, journal, stats — and is transport-neutral:
+:func:`serve_pipe` runs it over stdin/stdout, :func:`serve_tcp` over a
+TCP socket, and tests drive :meth:`FillServer.handle_line` directly.
+
+Request lifecycle::
+
+    client line ──parse──▶ admission ──▶ bounded queue ──▶ worker pool
+                     │          │                              │
+                     ▼          ▼                              ▼
+                protocol    journal(accept, fsync)      execute (fill /
+                 errors      + "accepted" ack            simulate), with
+                                                         coalesced
+                                                         surrogate passes
+                                                              │
+                                     journal(done) ◀── terminal response
+
+Graceful shutdown stops admission, drains the queue and in-flight jobs
+(bounded by ``drain_timeout_s``), closes the batchers and the journal.
+Because accepts are journalled before the ack, a crash instead of a
+drain loses nothing: the next server started on the same journal path
+re-runs every accepted-but-unfinished job spec.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .. import config as repro_config
+from ..baselines import cai_fill, lin_fill, tao_fill
+from ..cmp.simulator import CmpSimulator
+from ..core import FillProblem, NeurFill, ScoreCoefficients, evaluate_solution
+from ..core.scoring import planarity_metrics
+from ..layout.io import layout_from_dict, load_layout
+from ..layout.layout import Layout
+from ..optimize.sqp import SqpOptimizer
+from ..surrogate import TrainConfig, pretrain_surrogate
+from .batcher import CoalescedNetwork, MicroBatcher
+from .jobqueue import BoundedJobQueue, Job, JobState
+from .journal import JobJournal
+from .protocol import (
+    IMMEDIATE_OPS,
+    JOB_OPS,
+    ProtocolError,
+    Request,
+    encode,
+    parse_request,
+    response,
+)
+from .registry import ModelRegistry, layout_fingerprint
+from .stats import ServeStats
+
+FILL_METHODS = ("lin", "tao", "cai", "neurfill-pkb", "neurfill-mm")
+
+
+@dataclass
+class ServeConfig:
+    """Tunable knobs of one server process (CLI flags + env defaults)."""
+
+    workers: int = field(
+        default_factory=repro_config.serve_workers_default)
+    queue_capacity: int = field(
+        default_factory=repro_config.serve_queue_capacity_default)
+    max_batch: int = field(
+        default_factory=repro_config.serve_max_batch_default)
+    flush_ms: float = field(
+        default_factory=repro_config.serve_flush_ms_default)
+    default_timeout_s: float | None = None
+    drain_timeout_s: float = repro_config.DEFAULT_SERVE_DRAIN_TIMEOUT_S
+    #: ``beta_runtime`` for calibrated score coefficients — matches the
+    #: one-shot CLI path so served results are comparable bit for bit.
+    beta_runtime: float = 60.0
+    #: Allow jobs without a registered model to train a surrogate inline
+    #: (slow; off for latency-sensitive deployments).
+    allow_train: bool = True
+    max_bound_networks: int = 8
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.queue_capacity < 1:
+            raise ValueError(
+                f"queue_capacity must be >= 1, got {self.queue_capacity}")
+        if self.max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.flush_ms < 0:
+            raise ValueError(f"flush_ms must be >= 0, got {self.flush_ms}")
+
+
+class FillServer:
+    """Long-running fill/simulate service over a line-JSON protocol."""
+
+    def __init__(self, registry: ModelRegistry | None = None,
+                 serve_config: ServeConfig | None = None,
+                 journal_path: str | None = None):
+        self.registry = registry or ModelRegistry()
+        self.config = serve_config or ServeConfig()
+        self.stats = ServeStats()
+        self.queue = BoundedJobQueue(self.config.queue_capacity)
+        self.simulator = CmpSimulator()
+        self._journal: JobJournal | None = None
+        self._resume_specs: list[dict] = []
+        if journal_path is not None:
+            self._resume_specs, self._journal = JobJournal.recover(
+                journal_path)
+        self._layout_cache: dict[str, tuple[tuple, Layout, str]] = {}
+        self._coeff_cache: dict[str, ScoreCoefficients] = {}
+        self._batchers: dict[tuple[str, str],
+                             tuple[CoalescedNetwork, MicroBatcher]] = {}
+        self._lock = threading.Lock()
+        self._drain_cond = threading.Condition()
+        self._inflight = 0
+        self._workers: list[threading.Thread] = []
+        self._accepting = True
+        self._started = False
+        self._started_at = time.monotonic()
+        self._shutdown_event = threading.Event()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Spawn the worker pool and resume journalled jobs."""
+        if self._started:
+            return
+        self._started = True
+        for i in range(self.config.workers):
+            thread = threading.Thread(
+                target=self._worker_loop, name=f"repro-serve-worker-{i}",
+                daemon=True,
+            )
+            thread.start()
+            self._workers.append(thread)
+        for spec in self._resume_specs:
+            try:
+                request = parse_request(encode(spec))
+            except ProtocolError:
+                continue  # journalled by an incompatible version; drop
+            self.stats.incr("resumed")
+            self._admit(request, lambda message: None)
+        self._resume_specs = []
+
+    @property
+    def shutdown_complete(self) -> bool:
+        return self._shutdown_event.is_set()
+
+    def wait_shutdown(self, timeout: float | None = None) -> bool:
+        return self._shutdown_event.wait(timeout)
+
+    def shutdown(self, drain: bool = True,
+                 timeout: float | None = None) -> None:
+        """Stop admission, drain (or cancel) pending work, release all.
+
+        Args:
+            drain: finish queued + in-flight jobs before returning; when
+                ``False`` queued jobs are cancelled (in-flight ones still
+                run to completion — execution is not preemptible).
+            timeout: overrides ``config.drain_timeout_s``.
+        """
+        if self._shutdown_event.is_set():
+            return
+        self._accepting = False
+        if not drain:
+            for job in self.queue.drain_pending():
+                self.stats.incr("cancelled")
+                self._finish(job, "cancelled", error="server shutdown",
+                             counted=False)
+        deadline = time.monotonic() + (
+            self.config.drain_timeout_s if timeout is None else timeout)
+        with self._drain_cond:
+            while (self.queue.depth() > 0 or self._inflight > 0) \
+                    and time.monotonic() < deadline:
+                self._drain_cond.wait(0.05)
+        self.queue.close()
+        for thread in self._workers:
+            thread.join(timeout=5.0)
+        with self._lock:
+            batchers = list(self._batchers.values())
+            self._batchers.clear()
+        for _, batcher in batchers:
+            batcher.close()
+        if self._journal is not None:
+            self._journal.close()
+        self._shutdown_event.set()
+
+    # ------------------------------------------------------------------
+    # Request handling (transport threads)
+    # ------------------------------------------------------------------
+    def handle_line(self, line: str, reply) -> None:
+        """Parse and dispatch one protocol line; never raises."""
+        reply = _safe_reply(reply)
+        try:
+            request = parse_request(line)
+        except ProtocolError as exc:
+            self.stats.incr("protocol_errors")
+            reply(response(None, "error", error=str(exc)))
+            return
+        if request.op in JOB_OPS:
+            self._admit(request, reply)
+        elif request.op in IMMEDIATE_OPS:
+            self._handle_immediate(request, reply)
+
+    def _admit(self, request: Request, reply) -> None:
+        if not self._accepting:
+            self.stats.incr("rejected")
+            reply(response(request.id, "rejected",
+                           error="server is shutting down"))
+            return
+        error = self._validate_job(request)
+        if error is not None:
+            self.stats.incr("rejected")
+            reply(response(request.id, "rejected", error=error))
+            return
+        if self._journal is not None:
+            self._journal.record_accept(request)
+        job = Job(request=request, reply=reply)
+        if job.deadline is None and self.config.default_timeout_s:
+            job.deadline = job.accepted_at + self.config.default_timeout_s
+        if self.queue.put(job):
+            self.stats.incr("accepted")
+            reply(response(request.id, "accepted",
+                           result={"queue_depth": self.queue.depth()}))
+        else:
+            self.stats.incr("rejected")
+            if self._journal is not None:
+                self._journal.record_done(request.id, "rejected")
+            if self.queue.closed:
+                reason = "server is shutting down"
+            elif self.queue.depth() >= self.queue.capacity:
+                reason = f"queue full (capacity {self.queue.capacity})"
+            else:
+                reason = f"duplicate job id {request.id!r}"
+            reply(response(request.id, "rejected", error=reason))
+
+    def _validate_job(self, request: Request) -> str | None:
+        """Cheap admission-time validation (full errors surface at run)."""
+        params = request.params
+        if "layout" not in params and "layout_path" not in params:
+            return "params must include 'layout' or 'layout_path'"
+        if request.op == "fill":
+            method = params.get("method", "neurfill-pkb")
+            if method not in FILL_METHODS:
+                return (f"unknown method {method!r}; "
+                        f"expected one of {FILL_METHODS}")
+            if method.startswith("neurfill") and "model" not in params \
+                    and not self.config.allow_train:
+                return ("no 'model' given and inline training is "
+                        "disabled on this server")
+        return None
+
+    def _handle_immediate(self, request: Request, reply) -> None:
+        if request.op == "ping":
+            reply(response(request.id, "done", result={"pong": True}))
+        elif request.op == "stats":
+            reply(response(request.id, "done", result=self.stats_snapshot()))
+        elif request.op == "models":
+            reply(response(request.id, "done",
+                           result={"models": self.registry.describe()}))
+        elif request.op == "cancel":
+            self._handle_cancel(request, reply)
+        elif request.op == "shutdown":
+            drain = bool(request.params.get("drain", True))
+            self.shutdown(drain=drain)
+            reply(response(request.id, "done", result={"drained": drain}))
+
+    def _handle_cancel(self, request: Request, reply) -> None:
+        target = request.params.get("job_id")
+        if not isinstance(target, str) or not target:
+            reply(response(request.id, "error",
+                           error="cancel params need a 'job_id' string"))
+            return
+        job = self.queue.cancel(target)
+        if job is not None:
+            self.stats.incr("cancelled")
+            self._finish(job, "cancelled", error="cancelled by request",
+                         counted=False)
+        reply(response(request.id, "done",
+                       result={"job_id": target,
+                               "cancelled": job is not None}))
+
+    def stats_snapshot(self) -> dict:
+        snapshot = self.stats.snapshot()
+        snapshot.update({
+            "queue_depth": self.queue.depth(),
+            "queue_capacity": self.queue.capacity,
+            "inflight": self._inflight,
+            "workers": self.config.workers,
+            "accepting": self._accepting,
+            "coalescing": self.config.max_batch > 1,
+            "max_batch": self.config.max_batch,
+            "flush_ms": self.config.flush_ms,
+            "models": self.registry.names(),
+            "uptime_s": round(time.monotonic() - self._started_at, 3),
+        })
+        return snapshot
+
+    # ------------------------------------------------------------------
+    # Worker pool
+    # ------------------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while True:
+            for job in self.queue.expire_due():
+                self._finish(job, "timeout",
+                             error=f"timed out after {job.request.timeout_s}s"
+                                   " in queue")
+            job = self.queue.get(timeout=0.1)
+            if job is None:
+                if self.queue.closed:
+                    return
+                continue
+            self.stats.record_latency(
+                "queue_wait", job.started_at - job.accepted_at)
+            with self._drain_cond:
+                self._inflight += 1
+            try:
+                if job.expired():
+                    self._finish(job, "timeout",
+                                 error="deadline passed before execution")
+                    continue
+                try:
+                    result = self._execute(job.request)
+                except Exception as exc:  # job failure must not kill worker
+                    self._finish(job, "error", error=str(exc))
+                else:
+                    if job.expired():
+                        self._finish(job, "timeout",
+                                     error="completed after its deadline")
+                    else:
+                        self._finish(job, "done", result=result)
+            finally:
+                with self._drain_cond:
+                    self._inflight -= 1
+                    self._drain_cond.notify_all()
+
+    def _finish(self, job: Job, status: str, result: dict | None = None,
+                error: str | None = None, counted: bool = True) -> None:
+        job.state = {
+            "done": JobState.DONE, "error": JobState.FAILED,
+            "cancelled": JobState.CANCELLED, "timeout": JobState.TIMEOUT,
+        }.get(status, JobState.DONE)
+        now = time.monotonic()
+        if job.started_at is not None:
+            self.stats.record_latency("execute", now - job.started_at)
+        self.stats.record_latency("total", now - job.accepted_at)
+        if counted:
+            self.stats.incr("completed" if status == "done" else status)
+        if self._journal is not None:
+            self._journal.record_done(job.id, status)
+        job.reply(response(job.id, status, result=result, error=error))
+
+    # ------------------------------------------------------------------
+    # Job execution
+    # ------------------------------------------------------------------
+    def _execute(self, request: Request) -> dict:
+        if request.op == "simulate":
+            return self._simulate_job(request.params)
+        return self._fill_job(request.params)
+
+    def _load_layout(self, params: dict) -> tuple[Layout, str]:
+        if "layout" in params:
+            layout = layout_from_dict(params["layout"])
+            return layout, layout_fingerprint(layout)
+        path = params.get("layout_path")
+        if not isinstance(path, str) or not path:
+            raise ValueError("params must include 'layout' or 'layout_path'")
+        from pathlib import Path
+        stat = Path(path).stat()
+        stamp = (stat.st_mtime_ns, stat.st_size)
+        with self._lock:
+            cached = self._layout_cache.get(path)
+            if cached is not None and cached[0] == stamp:
+                return cached[1], cached[2]
+        layout = load_layout(path)
+        fingerprint = layout_fingerprint(layout)
+        with self._lock:
+            self._layout_cache[path] = (stamp, layout, fingerprint)
+            while len(self._layout_cache) > 4 * self.config.max_bound_networks:
+                self._layout_cache.pop(next(iter(self._layout_cache)))
+        return layout, fingerprint
+
+    def _coefficients(self, layout: Layout,
+                      fingerprint: str) -> ScoreCoefficients:
+        """Calibrated coefficients, cached per layout content.
+
+        Calibration runs one unfilled simulation; it is deterministic, so
+        the cached value is bitwise what the one-shot CLI recomputes.
+        """
+        with self._lock:
+            cached = self._coeff_cache.get(fingerprint)
+        if cached is not None:
+            return cached
+        coefficients = ScoreCoefficients.calibrated(
+            layout, self.simulator, beta_runtime=self.config.beta_runtime)
+        with self._lock:
+            self._coeff_cache[fingerprint] = coefficients
+            while len(self._coeff_cache) > 8 * self.config.max_bound_networks:
+                self._coeff_cache.pop(next(iter(self._coeff_cache)))
+        return coefficients
+
+    def _coalesced_network(self, model_name: str, layout: Layout,
+                           fingerprint: str):
+        key = (model_name, fingerprint)
+        with self._lock:
+            entry = self._batchers.get(key)
+            if entry is not None:
+                return entry[0]
+        network = self.registry.network_for(model_name, layout, fingerprint)
+        batcher = MicroBatcher(
+            network, max_batch=self.config.max_batch,
+            max_delay_s=self.config.flush_ms / 1e3, stats=self.stats,
+        )
+        coalesced = CoalescedNetwork(network, batcher)
+        evicted: list[MicroBatcher] = []
+        with self._lock:
+            if key in self._batchers:  # lost a bind race; keep the winner
+                evicted.append(batcher)
+                coalesced = self._batchers[key][0]
+            else:
+                self._batchers[key] = (coalesced, batcher)
+                while len(self._batchers) > self.config.max_bound_networks:
+                    oldest = next(iter(self._batchers))
+                    evicted.append(self._batchers.pop(oldest)[1])
+        for old in evicted:
+            old.close()
+        return coalesced
+
+    def _fill_job(self, params: dict) -> dict:
+        layout, fingerprint = self._load_layout(params)
+        method = params.get("method", "neurfill-pkb")
+        problem = FillProblem(layout, self._coefficients(layout, fingerprint))
+        if method == "lin":
+            result = lin_fill(problem)
+        elif method == "tao":
+            result = tao_fill(problem)
+        elif method == "cai":
+            result = cai_fill(problem, simulator=self.simulator,
+                              max_sqp_iterations=3)
+        else:
+            model_name = params.get("model")
+            if model_name is not None:
+                network = self._coalesced_network(
+                    str(model_name), layout, fingerprint)
+            else:
+                if not self.config.allow_train:
+                    raise ValueError(
+                        "no 'model' given and inline training is disabled")
+                network, _, _ = pretrain_surrogate(
+                    [layout], layout,
+                    sample_count=int(params.get("train_samples", 30)),
+                    tile_rows=layout.grid.rows, tile_cols=layout.grid.cols,
+                    base_channels=8, depth=2,
+                    config=TrainConfig(
+                        epochs=int(params.get("train_epochs", 20)),
+                        batch_size=8),
+                    simulator=self.simulator,
+                    seed=int(params.get("seed", 0)),
+                )
+            neurfill = NeurFill(
+                problem, network,
+                optimizer=SqpOptimizer(max_iter=80, tol=1e-9),
+                simulator=self.simulator,
+            )
+            result = neurfill.run(
+                method,
+                seed=int(params.get("seed", 0)),
+                max_evaluations=int(params.get("max_evaluations", 500)),
+                top_k=int(params.get("top_k", 3)),
+            )
+        payload = {
+            "method": result.method,
+            "layout": layout.name,
+            "quality": result.quality,
+            "total_fill": result.total_fill,
+            "runtime_s": result.runtime_s,
+            "evaluations": result.evaluations,
+            "starts": result.starts,
+        }
+        if params.get("score", True):
+            score = evaluate_solution(problem, result.fill, method,
+                                      self.simulator,
+                                      runtime_s=result.runtime_s)
+            payload["score"] = {
+                "delta_h": score.delta_h,
+                "quality": score.quality,
+                "overall": score.overall,
+            }
+        if params.get("return_fill"):
+            payload["fill"] = result.fill.tolist()
+        fill_out = params.get("fill_out")
+        if fill_out:
+            np.savez(fill_out, fill=result.fill)
+            payload["fill_out"] = str(fill_out)
+        return payload
+
+    def _simulate_job(self, params: dict) -> dict:
+        layout, _ = self._load_layout(params)
+        simulator = self.simulator
+        polish_time = params.get("polish_time")
+        if polish_time:
+            from ..cmp import ProcessParams
+            simulator = CmpSimulator(
+                ProcessParams(polish_time_s=float(polish_time)))
+        result = simulator.simulate_layout(layout)
+        delta_h, sigma, line, outliers = planarity_metrics(result.height)
+        return {
+            "layout": layout.name,
+            "rows": layout.grid.rows,
+            "cols": layout.grid.cols,
+            "layers": layout.num_layers,
+            "delta_h": delta_h,
+            "sigma": sigma,
+            "line_deviation": line,
+            "outliers": outliers,
+            "mean_dishing": float(result.dishing.mean()),
+            "mean_erosion": float(result.erosion.mean()),
+        }
+
+
+def _safe_reply(reply):
+    """Wrap a transport write so a dead client cannot kill a worker."""
+    def _reply(message: dict) -> None:
+        try:
+            reply(message)
+        except (BrokenPipeError, ConnectionError, OSError, ValueError):
+            pass
+    return _reply
+
+
+# ----------------------------------------------------------------------
+# Transports
+# ----------------------------------------------------------------------
+def serve_pipe(server: FillServer, stdin=None, stdout=None) -> int:
+    """Serve line-JSON over stdin/stdout until EOF or a shutdown op.
+
+    Protocol traffic owns stdout; anything human-readable must go to
+    stderr.  EOF on stdin triggers a graceful drain, so piping a finite
+    job list into ``repro serve --pipe`` works as a batch runner.
+    """
+    stdin = sys.stdin if stdin is None else stdin
+    stdout = sys.stdout if stdout is None else stdout
+    write_lock = threading.Lock()
+
+    def reply(message: dict) -> None:
+        line = encode(message) + "\n"
+        with write_lock:
+            stdout.write(line)
+            stdout.flush()
+
+    server.start()
+    try:
+        for line in stdin:
+            if not line.strip():
+                continue
+            server.handle_line(line, reply)
+            if server.shutdown_complete:
+                break
+    except KeyboardInterrupt:
+        pass
+    finally:
+        if not server.shutdown_complete:
+            server.shutdown(drain=True)
+    return 0
+
+
+def serve_tcp(server: FillServer, host: str = "127.0.0.1",
+              port: int = 0, ready=None) -> int:
+    """Serve line-JSON over TCP; one reader thread per connection.
+
+    Args:
+        ready: optional callback invoked with the bound ``(host, port)``
+            once the socket listens (lets tests/benches use port 0).
+    """
+    import socketserver
+
+    class Handler(socketserver.StreamRequestHandler):
+        def handle(self) -> None:
+            write_lock = threading.Lock()
+
+            def reply(message: dict) -> None:
+                data = (encode(message) + "\n").encode()
+                with write_lock:
+                    self.wfile.write(data)
+                    self.wfile.flush()
+
+            for raw in self.rfile:
+                line = raw.decode("utf-8", errors="replace")
+                if not line.strip():
+                    continue
+                server.handle_line(line, reply)
+                if server.shutdown_complete:
+                    return
+
+    class TcpServer(socketserver.ThreadingTCPServer):
+        allow_reuse_address = True
+        daemon_threads = True
+
+    with TcpServer((host, port), Handler) as tcp:
+        server.start()
+        stopper = threading.Thread(
+            target=lambda: (server.wait_shutdown(), tcp.shutdown()),
+            daemon=True,
+        )
+        stopper.start()
+        if ready is not None:
+            ready(tcp.server_address)
+        try:
+            tcp.serve_forever(poll_interval=0.1)
+        except KeyboardInterrupt:
+            pass
+        finally:
+            if not server.shutdown_complete:
+                server.shutdown(drain=True)
+    return 0

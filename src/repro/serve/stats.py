@@ -1,0 +1,78 @@
+"""Service introspection: counters, batch histogram, latency percentiles.
+
+Everything here is O(1) per event and bounded in memory (sliding sample
+windows), so a long-lived server never accumulates unbounded state.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter, deque
+
+
+class LatencyTracker:
+    """Sliding-window latency percentiles for one pipeline stage."""
+
+    def __init__(self, window: int = 2048):
+        self._samples: deque[float] = deque(maxlen=window)
+        self._count = 0
+        self._total = 0.0
+
+    def record(self, seconds: float) -> None:
+        self._samples.append(seconds)
+        self._count += 1
+        self._total += seconds
+
+    def snapshot(self) -> dict:
+        """Counters plus p50/p95/p99 over the sample window, in ms."""
+        out = {"count": self._count}
+        if self._count:
+            out["mean_ms"] = round(self._total / self._count * 1e3, 3)
+        if self._samples:
+            ordered = sorted(self._samples)
+            n = len(ordered)
+            for q in (50, 95, 99):
+                idx = min(n - 1, max(0, round(q / 100 * (n - 1))))
+                out[f"p{q}_ms"] = round(ordered[idx] * 1e3, 3)
+        return out
+
+
+class ServeStats:
+    """Thread-safe event sink shared by queue, batcher and workers."""
+
+    #: Pipeline stages with latency tracking: time spent waiting in the
+    #: queue, executing, and accepted-to-terminal-response overall.
+    STAGES = ("queue_wait", "execute", "total")
+
+    def __init__(self, window: int = 2048):
+        self._lock = threading.Lock()
+        self._counters: Counter[str] = Counter()
+        self._batch_sizes: Counter[int] = Counter()
+        self._stages = {name: LatencyTracker(window) for name in self.STAGES}
+
+    def incr(self, name: str, n: int = 1) -> None:
+        with self._lock:
+            self._counters[name] += n
+
+    def record_batch(self, size: int) -> None:
+        """One micro-batch of ``size`` coalesced evaluations was flushed."""
+        with self._lock:
+            self._batch_sizes[size] += 1
+
+    def record_latency(self, stage: str, seconds: float) -> None:
+        with self._lock:
+            self._stages[stage].record(seconds)
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "batch_histogram": {
+                    str(size): count
+                    for size, count in sorted(self._batch_sizes.items())
+                },
+                "latency": {
+                    name: tracker.snapshot()
+                    for name, tracker in self._stages.items()
+                },
+            }

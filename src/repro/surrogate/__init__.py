@@ -13,7 +13,13 @@ from .network import (
     HeightNormalizer,
     PlanarityEvaluation,
 )
-from .persist import load_surrogate, save_surrogate
+from .persist import (
+    SurrogateBundle,
+    bind_surrogate,
+    load_surrogate,
+    load_surrogate_bundle,
+    save_surrogate,
+)
 from .objectives import (
     DEFAULT_ETA,
     PlanarityBreakdown,
@@ -46,8 +52,10 @@ __all__ = [
     "PlanarityBreakdown",
     "PlanarityEvaluation",
     "PlanarityWeights",
+    "SurrogateBundle",
     "SurrogateDataset",
     "TrainConfig",
+    "bind_surrogate",
     "TrainHistory",
     "build_dataset",
     "evaluate_accuracy",
@@ -56,6 +64,7 @@ __all__ = [
     "height_variance",
     "line_deviation",
     "load_surrogate",
+    "load_surrogate_bundle",
     "outliers",
     "outliers_hard",
     "planarity_score",

@@ -1,8 +1,22 @@
-"""Persistence for pre-trained CMP surrogates (UNet + normalizer + arch)."""
+"""Persistence for pre-trained CMP surrogates (UNet + normalizer + arch).
+
+A checkpoint directory holds two files:
+
+* ``surrogate.json`` — architecture, height normalisation and provenance
+  metadata (numpy version at save time);
+* ``unet.npz`` — the UNet state dict.
+
+Loading is split in two stages so long-lived processes (``repro serve``)
+can warm-load the weights once and re-bind them to many layouts:
+:func:`load_surrogate_bundle` reads the files, :func:`bind_surrogate`
+attaches a bundle to a layout.  :func:`load_surrogate` composes both.
+"""
 
 from __future__ import annotations
 
 import json
+import warnings
+from dataclasses import dataclass, field
 from pathlib import Path
 
 import numpy as np
@@ -34,22 +48,93 @@ def save_surrogate(directory: str | Path, unet: UNet,
             "depth": depth,
             "batch_norm": batch_norm,
         },
+        "numpy": np.__version__,
     }
     (directory / "surrogate.json").write_text(json.dumps(meta, indent=2))
     return directory
 
 
+@dataclass
+class SurrogateBundle:
+    """A loaded-but-unbound surrogate checkpoint.
+
+    Binding to a layout (:func:`bind_surrogate`) only computes extraction
+    constants, so one bundle can serve many layouts cheaply — the model
+    registry in :mod:`repro.serve` relies on this split.
+    """
+
+    unet: UNet
+    normalizer: HeightNormalizer
+    arch: dict
+    metadata: dict = field(default_factory=dict)
+
+
+def load_surrogate_bundle(directory: str | Path) -> SurrogateBundle:
+    """Read a checkpoint directory into a :class:`SurrogateBundle`.
+
+    Raises:
+        FileNotFoundError: when the directory, ``surrogate.json`` or
+            ``unet.npz`` is missing — the message names the attempted
+            path, so callers see *what* was missing, not a bare
+            ``KeyError``/``OSError`` from deep inside numpy.
+        ValueError: when the files exist but are corrupt or inconsistent
+            with the recorded architecture.
+    """
+    directory = Path(directory)
+    meta_path = directory / "surrogate.json"
+    weights_path = directory / "unet.npz"
+    if not directory.is_dir():
+        raise FileNotFoundError(
+            f"surrogate checkpoint directory not found: {directory}"
+        )
+    missing = [p.name for p in (meta_path, weights_path) if not p.is_file()]
+    if missing:
+        raise FileNotFoundError(
+            f"partial surrogate checkpoint at {directory}: "
+            f"missing {', '.join(missing)}"
+        )
+    try:
+        meta = json.loads(meta_path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"corrupt surrogate metadata {meta_path}: {exc}")
+    try:
+        arch = meta["arch"]
+        normalizer = HeightNormalizer.from_dict(meta["normalizer"])
+        unet = UNet(
+            in_channels=int(arch["in_channels"]), out_channels=1,
+            base_channels=int(arch["base_channels"]), depth=int(arch["depth"]),
+            batch_norm=bool(arch.get("batch_norm", True)), rng=0,
+        )
+    except KeyError as exc:
+        raise ValueError(
+            f"surrogate metadata {meta_path} is missing key {exc}"
+        )
+    saved_numpy = meta.get("numpy")
+    if saved_numpy and saved_numpy != np.__version__:
+        warnings.warn(
+            f"surrogate checkpoint {directory} was saved with numpy "
+            f"{saved_numpy} but is being loaded with numpy {np.__version__};"
+            f" results may differ at floating-point round-off level",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    try:
+        load_module(unet, weights_path)
+    except (KeyError, ValueError) as exc:
+        raise ValueError(
+            f"surrogate weights {weights_path} do not match the recorded "
+            f"architecture {arch}: {exc}"
+        )
+    return SurrogateBundle(unet=unet, normalizer=normalizer,
+                           arch=dict(arch), metadata=meta)
+
+
+def bind_surrogate(bundle: SurrogateBundle, layout: Layout) -> CmpNeuralNetwork:
+    """Attach a loaded bundle to ``layout`` (fully convolutional rebind)."""
+    return CmpNeuralNetwork(layout, bundle.unet, bundle.normalizer)
+
+
 def load_surrogate(directory: str | Path,
                    layout: Layout) -> CmpNeuralNetwork:
     """Rebuild a saved surrogate and bind it to ``layout``."""
-    directory = Path(directory)
-    meta = json.loads((directory / "surrogate.json").read_text())
-    arch = meta["arch"]
-    unet = UNet(
-        in_channels=int(arch["in_channels"]), out_channels=1,
-        base_channels=int(arch["base_channels"]), depth=int(arch["depth"]),
-        batch_norm=bool(arch.get("batch_norm", True)), rng=0,
-    )
-    load_module(unet, directory / "unet.npz")
-    normalizer = HeightNormalizer.from_dict(meta["normalizer"])
-    return CmpNeuralNetwork(layout, unet, normalizer)
+    return bind_surrogate(load_surrogate_bundle(directory), layout)

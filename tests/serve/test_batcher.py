@@ -1,0 +1,207 @@
+"""Tests for dynamic micro-batching of surrogate evaluations.
+
+The fidelity contract under test (DESIGN.md "Serving"):
+
+* a coalesced group of K requests returns **bitwise** what
+  ``evaluate_batch`` returns for those K fills stacked;
+* a singleton flush is bitwise-identical to sequential ``evaluate``;
+* for K > 1 the repo-wide batched contract applies (≤ 1e-10 vs
+  sequential, BLAS contraction order at the last ulp).
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.serve import CoalescedNetwork, MicroBatcher, ServeStats
+from repro.surrogate import PlanarityWeights
+
+WEIGHTS = PlanarityWeights(0.2, 1e4, 0.2, 1e5, 0.15, 100.0)
+
+
+def concurrent_evaluate(batcher, fills, weights=WEIGHTS):
+    """Submit fills from one thread each; return results in input order."""
+    results = [None] * len(fills)
+    errors = []
+
+    def worker(k):
+        try:
+            results[k] = batcher.evaluate(fills[k], weights)
+        except BaseException as exc:  # surfaced by the caller
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(k,))
+               for k in range(len(fills))]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=30)
+    if errors:
+        raise errors[0]
+    return results
+
+
+@pytest.fixture()
+def fills(small_layout):
+    rng = np.random.default_rng(7)
+    slack = small_layout.slack_stack()
+    return [rng.uniform(0.1, 0.9) * slack for _ in range(3)]
+
+
+class TestFidelity:
+    def test_coalesced_bitwise_equals_evaluate_batch(self, trained_surrogate,
+                                                     fills):
+        """Coalescing adds no arithmetic: the scattered per-request results
+        are exactly the rows of one ``evaluate_batch`` stacked pass."""
+        batcher = MicroBatcher(trained_surrogate, max_batch=len(fills),
+                               max_delay_s=30.0)
+        try:
+            got = concurrent_evaluate(batcher, fills)
+        finally:
+            batcher.close()
+        reference = trained_surrogate.evaluate_batch(np.stack(fills), WEIGHTS)
+        for k, ev in enumerate(got):
+            assert ev.s_plan == float(reference.s_plan[k])
+            assert np.array_equal(ev.heights, reference.heights[k])
+            assert np.array_equal(ev.gradient, reference.gradient[k])
+
+    def test_singleton_flush_bitwise_equals_sequential(self, trained_surrogate,
+                                                       fills):
+        """A max-latency flush of one request runs the identical stacked
+        shape, hence bitwise-equal to the plain ``evaluate`` path."""
+        batcher = MicroBatcher(trained_surrogate, max_batch=16,
+                               max_delay_s=0.005)
+        try:
+            got = batcher.evaluate(fills[0], WEIGHTS)
+        finally:
+            batcher.close()
+        reference = trained_surrogate.evaluate(fills[0], WEIGHTS)
+        assert got.s_plan == reference.s_plan
+        assert np.array_equal(got.heights, reference.heights)
+        assert np.array_equal(got.gradient, reference.gradient)
+
+    def test_group_close_to_sequential(self, trained_surrogate, fills):
+        """K > 1 inherits the repo-wide batched contract vs sequential."""
+        batcher = MicroBatcher(trained_surrogate, max_batch=len(fills),
+                               max_delay_s=30.0)
+        try:
+            got = concurrent_evaluate(batcher, fills)
+        finally:
+            batcher.close()
+        for fill, ev in zip(fills, got):
+            reference = trained_surrogate.evaluate(fill, WEIGHTS)
+            assert ev.s_plan == pytest.approx(reference.s_plan, abs=1e-10)
+            np.testing.assert_allclose(ev.gradient, reference.gradient,
+                                       atol=1e-10)
+
+    def test_passthrough_when_disabled(self, trained_surrogate, fills):
+        """max_batch=1 short-circuits to the plain sequential path."""
+        batcher = MicroBatcher(trained_surrogate, max_batch=1)
+        got = batcher.evaluate(fills[0], WEIGHTS)
+        reference = trained_surrogate.evaluate(fills[0], WEIGHTS)
+        assert got.s_plan == reference.s_plan
+        assert np.array_equal(got.gradient, reference.gradient)
+        batcher.close()
+
+
+class TestBehaviour:
+    def test_batch_histogram_recorded(self, trained_surrogate, fills):
+        stats = ServeStats()
+        batcher = MicroBatcher(trained_surrogate, max_batch=len(fills),
+                               max_delay_s=30.0, stats=stats)
+        try:
+            concurrent_evaluate(batcher, fills)
+        finally:
+            batcher.close()
+        histogram = stats.snapshot()["batch_histogram"]
+        assert histogram.get(str(len(fills))) == 1
+
+    def test_different_weights_never_coalesce(self, trained_surrogate, fills):
+        """Requests only share a group when the planarity weights match."""
+        stats = ServeStats()
+        other = PlanarityWeights(0.3, 1e4, 0.2, 1e5, 0.15, 100.0)
+        batcher = MicroBatcher(trained_surrogate, max_batch=2,
+                               max_delay_s=0.05, stats=stats)
+        try:
+            results = [None, None]
+
+            def run(k, weights):
+                results[k] = batcher.evaluate(fills[k], weights)
+
+            threads = [threading.Thread(target=run, args=(0, WEIGHTS)),
+                       threading.Thread(target=run, args=(1, other))]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=30)
+        finally:
+            batcher.close()
+        histogram = batcher.stats.snapshot()["batch_histogram"]
+        assert histogram == {"1": 2}
+        assert results[0].s_plan != results[1].s_plan
+
+    def test_close_drains_parked_requests(self, trained_surrogate, fills):
+        """close() flushes waiters instead of stranding them."""
+        batcher = MicroBatcher(trained_surrogate, max_batch=64,
+                               max_delay_s=300.0)
+        holder = {}
+        thread = threading.Thread(
+            target=lambda: holder.setdefault(
+                "ev", batcher.evaluate(fills[0], WEIGHTS)))
+        thread.start()
+        while not batcher._pending:  # wait until parked
+            time.sleep(0.001)
+        batcher.close()
+        thread.join(timeout=30)
+        assert not thread.is_alive()
+        assert holder["ev"].s_plan == trained_surrogate.evaluate(
+            fills[0], WEIGHTS).s_plan
+
+    def test_evaluate_after_close_still_works(self, trained_surrogate, fills):
+        batcher = MicroBatcher(trained_surrogate, max_batch=4,
+                               max_delay_s=0.01)
+        batcher.close()
+        ev = batcher.evaluate(fills[0], WEIGHTS)
+        assert ev.s_plan == trained_surrogate.evaluate(fills[0],
+                                                       WEIGHTS).s_plan
+
+    def test_errors_propagate_to_every_waiter(self, fills):
+        class ExplodingNetwork:
+            def evaluate_batch(self, fills, weights, grad_mask=None):
+                raise RuntimeError("boom")
+
+        batcher = MicroBatcher(ExplodingNetwork(), max_batch=len(fills),
+                               max_delay_s=30.0)
+        try:
+            with pytest.raises(RuntimeError, match="boom"):
+                concurrent_evaluate(batcher, fills)
+        finally:
+            batcher.close()
+
+    def test_bad_config_rejected(self, trained_surrogate):
+        with pytest.raises(ValueError):
+            MicroBatcher(trained_surrogate, max_batch=0)
+        with pytest.raises(ValueError):
+            MicroBatcher(trained_surrogate, max_delay_s=-1.0)
+
+
+class TestCoalescedNetwork:
+    def test_delegates_everything_else(self, trained_surrogate, small_layout):
+        batcher = MicroBatcher(trained_surrogate, max_batch=1)
+        facade = CoalescedNetwork(trained_surrogate, batcher)
+        assert facade.layout is trained_surrogate.layout
+        heights = facade.predict_heights()
+        np.testing.assert_array_equal(
+            heights, trained_surrogate.predict_heights())
+        batcher.close()
+
+    def test_evaluate_routes_through_batcher(self, trained_surrogate, fills):
+        batcher = MicroBatcher(trained_surrogate, max_batch=16,
+                               max_delay_s=0.003)
+        facade = CoalescedNetwork(trained_surrogate, batcher)
+        ev = facade.evaluate(fills[0], WEIGHTS)
+        reference = trained_surrogate.evaluate(fills[0], WEIGHTS)
+        assert ev.s_plan == reference.s_plan
+        batcher.close()

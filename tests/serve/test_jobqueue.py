@@ -1,0 +1,111 @@
+"""Tests for the bounded priority job queue."""
+
+import time
+
+from repro.serve import BoundedJobQueue, Job, JobState, Request
+
+
+def make_job(job_id: str, priority: int = 0,
+             timeout_s: float | None = None) -> Job:
+    request = Request(id=job_id, op="fill", params={}, priority=priority,
+                      timeout_s=timeout_s)
+    return Job(request=request, reply=lambda message: None)
+
+
+class TestOrdering:
+    def test_priority_order(self):
+        queue = BoundedJobQueue(capacity=8)
+        for job_id, priority in (("low", 0), ("high", 9), ("mid", 5)):
+            assert queue.put(make_job(job_id, priority))
+        popped = [queue.get(timeout=0.1).id for _ in range(3)]
+        assert popped == ["high", "mid", "low"]
+
+    def test_fifo_within_priority(self):
+        queue = BoundedJobQueue(capacity=8)
+        for job_id in ("a", "b", "c"):
+            assert queue.put(make_job(job_id, priority=3))
+        assert [queue.get(timeout=0.1).id for _ in range(3)] == ["a", "b", "c"]
+
+    def test_get_marks_running(self):
+        queue = BoundedJobQueue(capacity=2)
+        queue.put(make_job("a"))
+        job = queue.get(timeout=0.1)
+        assert job.state is JobState.RUNNING
+        assert job.started_at is not None
+
+
+class TestBackpressure:
+    def test_put_refuses_beyond_capacity(self):
+        queue = BoundedJobQueue(capacity=2)
+        assert queue.put(make_job("a"))
+        assert queue.put(make_job("b"))
+        assert not queue.put(make_job("c"))
+        assert queue.depth() == 2
+
+    def test_capacity_frees_on_get(self):
+        queue = BoundedJobQueue(capacity=1)
+        assert queue.put(make_job("a"))
+        assert queue.get(timeout=0.1).id == "a"
+        assert queue.put(make_job("b"))
+
+    def test_duplicate_id_refused(self):
+        queue = BoundedJobQueue(capacity=4)
+        assert queue.put(make_job("a"))
+        assert not queue.put(make_job("a"))
+
+    def test_closed_refuses(self):
+        queue = BoundedJobQueue(capacity=4)
+        queue.close()
+        assert not queue.put(make_job("a"))
+        assert queue.get(timeout=0.0) is None
+
+
+class TestCancellation:
+    def test_cancel_pending(self):
+        queue = BoundedJobQueue(capacity=4)
+        queue.put(make_job("a"))
+        queue.put(make_job("b"))
+        cancelled = queue.cancel("a")
+        assert cancelled is not None
+        assert cancelled.state is JobState.CANCELLED
+        assert queue.depth() == 1
+        # the cancelled heap entry is skipped lazily
+        assert queue.get(timeout=0.1).id == "b"
+        assert queue.get(timeout=0.0) is None
+
+    def test_cancel_unknown_returns_none(self):
+        queue = BoundedJobQueue(capacity=4)
+        assert queue.cancel("ghost") is None
+
+    def test_drain_pending_cancels_all(self):
+        queue = BoundedJobQueue(capacity=4)
+        queue.put(make_job("a"))
+        queue.put(make_job("b"))
+        drained = queue.drain_pending()
+        assert sorted(j.id for j in drained) == ["a", "b"]
+        assert all(j.state is JobState.CANCELLED for j in drained)
+        assert queue.depth() == 0
+
+
+class TestDeadlines:
+    def test_expire_due_sweeps_past_deadline(self):
+        queue = BoundedJobQueue(capacity=4)
+        expired_job = make_job("old", timeout_s=0.001)
+        queue.put(expired_job)
+        queue.put(make_job("fresh", timeout_s=60.0))
+        time.sleep(0.01)
+        expired = queue.expire_due()
+        assert [j.id for j in expired] == ["old"]
+        assert expired[0].state is JobState.TIMEOUT
+        assert queue.depth() == 1
+
+    def test_deadline_derived_from_timeout(self):
+        job = make_job("a", timeout_s=5.0)
+        assert job.deadline is not None
+        assert not job.expired()
+        assert job.expired(now=job.accepted_at + 6.0)
+
+    def test_no_timeout_never_expires(self):
+        job = make_job("a")
+        assert job.deadline is None
+        assert not job.expired(now=time.monotonic() + 1e6)

@@ -1,0 +1,111 @@
+"""Tests for the warm-loading model registry and its bound-network LRU."""
+
+import numpy as np
+import pytest
+
+from repro.layout import make_design_a, make_design_b
+from repro.serve import ModelRegistry, layout_fingerprint
+from repro.surrogate import save_surrogate
+
+
+@pytest.fixture()
+def checkpoint(trained_surrogate, tmp_path):
+    net = trained_surrogate
+    return str(save_surrogate(tmp_path / "ckpt", net.unet, net.normalizer,
+                              base_channels=6, depth=2))
+
+
+class TestFingerprint:
+    def test_stable_for_equal_content(self):
+        a = make_design_a(rows=8, cols=8, seed=3)
+        b = make_design_a(rows=8, cols=8, seed=3)
+        assert layout_fingerprint(a) == layout_fingerprint(b)
+
+    def test_differs_across_content(self):
+        a = make_design_a(rows=8, cols=8, seed=3)
+        b = make_design_a(rows=8, cols=8, seed=4)
+        assert layout_fingerprint(a) != layout_fingerprint(b)
+
+
+class TestRegistration:
+    def test_register_warm_loads(self, checkpoint):
+        registry = ModelRegistry()
+        model = registry.register("pkb", checkpoint)
+        assert model.bundle.arch["base_channels"] == 6
+        assert "pkb" in registry
+        assert registry.names() == ["pkb"]
+        assert registry.describe()["pkb"]["directory"] == checkpoint
+
+    def test_register_spec(self, checkpoint):
+        registry = ModelRegistry()
+        assert registry.register_spec(f"pkb={checkpoint}").name == "pkb"
+        with pytest.raises(ValueError, match="NAME=CHECKPOINT_DIR"):
+            registry.register_spec("no-equals-sign")
+
+    def test_bad_checkpoint_fails_at_registration(self, tmp_path):
+        registry = ModelRegistry()
+        with pytest.raises(FileNotFoundError):
+            registry.register("pkb", tmp_path / "nope")
+        assert len(registry) == 0
+
+    def test_unknown_model_lists_registered(self, checkpoint):
+        registry = ModelRegistry()
+        registry.register("pkb", checkpoint)
+        with pytest.raises(KeyError, match="pkb"):
+            registry.network_for("ghost", make_design_a(rows=8, cols=8))
+
+
+class TestBinding:
+    def test_network_for_caches_per_layout(self, checkpoint):
+        registry = ModelRegistry()
+        registry.register("pkb", checkpoint)
+        layout = make_design_a(rows=8, cols=8)
+        first = registry.network_for("pkb", layout)
+        second = registry.network_for("pkb", layout)
+        assert first is second
+
+    def test_distinct_layouts_get_distinct_bindings(self, checkpoint):
+        registry = ModelRegistry()
+        registry.register("pkb", checkpoint)
+        a = registry.network_for("pkb", make_design_a(rows=8, cols=8))
+        b = registry.network_for("pkb", make_design_b(rows=10, cols=12))
+        assert a is not b
+        assert a.predict_heights().shape != b.predict_heights().shape
+
+    def test_lru_eviction_bounds_memory(self, checkpoint):
+        registry = ModelRegistry(max_bound=2)
+        registry.register("pkb", checkpoint)
+        layouts = [make_design_a(rows=8, cols=8, seed=s) for s in range(3)]
+        bindings = [registry.network_for("pkb", l) for l in layouts]
+        assert len(registry._bound) == 2
+        # the oldest binding was evicted; re-requesting makes a fresh one
+        again = registry.network_for("pkb", layouts[0])
+        assert again is not bindings[0]
+
+    def test_reregister_invalidates_bindings(self, checkpoint):
+        registry = ModelRegistry()
+        registry.register("pkb", checkpoint)
+        layout = make_design_a(rows=8, cols=8)
+        old = registry.network_for("pkb", layout)
+        registry.register("pkb", checkpoint)  # replaced (same files)
+        fresh = registry.network_for("pkb", layout)
+        assert fresh is not old
+
+    def test_bindings_share_weights(self, checkpoint):
+        """Rebinding reuses the warm UNet — no per-layout weight copies."""
+        registry = ModelRegistry()
+        registry.register("pkb", checkpoint)
+        a = registry.network_for("pkb", make_design_a(rows=8, cols=8))
+        b = registry.network_for("pkb", make_design_b(rows=10, cols=12))
+        assert a.unet is b.unet
+
+    def test_bound_prediction_matches_direct_load(self, checkpoint,
+                                                  small_layout):
+        from repro.surrogate import load_surrogate
+        registry = ModelRegistry()
+        registry.register("pkb", checkpoint)
+        bound = registry.network_for("pkb", small_layout)
+        direct = load_surrogate(checkpoint, small_layout)
+        fill = 0.25 * small_layout.slack_stack()
+        np.testing.assert_array_equal(bound.predict_heights(fill),
+                                      direct.predict_heights(fill))

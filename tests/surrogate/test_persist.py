@@ -1,10 +1,18 @@
 """Tests for surrogate checkpointing (save/load + rebinding)."""
 
+import json
+
 import numpy as np
 import pytest
 
 from repro.layout import make_design_a, make_design_b
-from repro.surrogate import PlanarityWeights, load_surrogate, save_surrogate
+from repro.surrogate import (
+    PlanarityWeights,
+    bind_surrogate,
+    load_surrogate,
+    load_surrogate_bundle,
+    save_surrogate,
+)
 
 
 class TestSurrogatePersistence:
@@ -44,3 +52,87 @@ class TestSurrogatePersistence:
     def test_missing_checkpoint_raises(self, tmp_path, small_layout):
         with pytest.raises(FileNotFoundError):
             load_surrogate(tmp_path / "nope", small_layout)
+
+
+class TestDiagnostics:
+    """Loading failures name the attempted path; provenance is recorded."""
+
+    @pytest.fixture()
+    def checkpoint(self, trained_surrogate, tmp_path):
+        net = trained_surrogate
+        return save_surrogate(tmp_path / "ckpt", net.unet, net.normalizer,
+                              base_channels=6, depth=2)
+
+    def test_missing_directory_names_path(self, tmp_path, small_layout):
+        missing = tmp_path / "nowhere"
+        with pytest.raises(FileNotFoundError, match="nowhere"):
+            load_surrogate(missing, small_layout)
+
+    def test_partial_checkpoint_names_missing_file(self, checkpoint,
+                                                   small_layout):
+        (checkpoint / "unet.npz").unlink()
+        with pytest.raises(FileNotFoundError) as excinfo:
+            load_surrogate(checkpoint, small_layout)
+        message = str(excinfo.value)
+        assert "partial surrogate checkpoint" in message
+        assert str(checkpoint) in message
+        assert "unet.npz" in message
+
+    def test_corrupt_metadata_raises_value_error(self, checkpoint,
+                                                 small_layout):
+        (checkpoint / "surrogate.json").write_text("{broken")
+        with pytest.raises(ValueError, match="corrupt"):
+            load_surrogate(checkpoint, small_layout)
+
+    def test_metadata_missing_key_raises_value_error(self, checkpoint,
+                                                     small_layout):
+        meta = json.loads((checkpoint / "surrogate.json").read_text())
+        del meta["arch"]
+        (checkpoint / "surrogate.json").write_text(json.dumps(meta))
+        with pytest.raises(ValueError, match="missing key"):
+            load_surrogate(checkpoint, small_layout)
+
+    def test_numpy_version_recorded(self, checkpoint):
+        meta = json.loads((checkpoint / "surrogate.json").read_text())
+        assert meta["numpy"] == np.__version__
+
+    def test_numpy_mismatch_warns(self, checkpoint, small_layout):
+        meta = json.loads((checkpoint / "surrogate.json").read_text())
+        meta["numpy"] = "0.0.1"
+        (checkpoint / "surrogate.json").write_text(json.dumps(meta))
+        with pytest.warns(RuntimeWarning, match="0.0.1"):
+            load_surrogate(checkpoint, small_layout)
+
+    def test_matching_numpy_does_not_warn(self, checkpoint, small_layout):
+        import warnings
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            load_surrogate(checkpoint, small_layout)
+
+
+class TestBundleSplit:
+    """Warm-load once, bind many times (the repro.serve registry path)."""
+
+    def test_bundle_binds_to_multiple_layouts(self, trained_surrogate,
+                                              tmp_path):
+        net = trained_surrogate
+        save_surrogate(tmp_path / "ckpt", net.unet, net.normalizer,
+                       base_channels=6, depth=2)
+        bundle = load_surrogate_bundle(tmp_path / "ckpt")
+        assert bundle.arch["base_channels"] == 6
+        for layout in (make_design_a(rows=8, cols=8),
+                       make_design_b(rows=12, cols=10)):
+            bound = bind_surrogate(bundle, layout)
+            assert bound.predict_heights().shape == layout.shape
+
+    def test_bound_matches_direct_load(self, trained_surrogate, tmp_path,
+                                       small_layout):
+        net = trained_surrogate
+        save_surrogate(tmp_path / "ckpt", net.unet, net.normalizer,
+                       base_channels=6, depth=2)
+        direct = load_surrogate(tmp_path / "ckpt", small_layout)
+        via_bundle = bind_surrogate(
+            load_surrogate_bundle(tmp_path / "ckpt"), small_layout)
+        fill = 0.3 * small_layout.slack_stack()
+        np.testing.assert_array_equal(
+            via_bundle.predict_heights(fill), direct.predict_heights(fill))

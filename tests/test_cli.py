@@ -1,8 +1,11 @@
 """Tests for the command-line interface."""
 
+import os
+
 import numpy as np
 import pytest
 
+import repro
 from repro.cli import main
 from repro.insertion import load_shapes
 from repro.layout import load_layout
@@ -83,3 +86,99 @@ class TestParser:
     def test_unknown_method_errors(self, design_file):
         with pytest.raises(SystemExit):
             main(["fill", str(design_file), "--method", "magic"])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert repro.__version__ in capsys.readouterr().out
+
+
+class TestErrorHandling:
+    """Bad inputs exit non-zero with a one-line message, no traceback."""
+
+    @pytest.mark.parametrize("argv", [
+        ["simulate", "no-such-layout.json"],
+        ["fill", "no-such-layout.json", "--method", "lin"],
+        ["compare", "no-such-layout.json", "--skip-cai"],
+        ["train-surrogate", "no-such-layout.json", "-o", "ckpt"],
+    ])
+    def test_missing_layout_is_one_line_error(self, argv, capsys, tmp_path,
+                                              monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(argv) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro: error: ")
+        assert "no-such-layout.json" in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_invalid_json_layout(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main(["simulate", str(bad)]) == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_missing_model_checkpoint(self, design_file, tmp_path, capsys):
+        missing = tmp_path / "no-ckpt"
+        rc = main(["fill", str(design_file), "--method", "neurfill-pkb",
+                   "--model", str(missing)])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.strip().splitlines()[-1].startswith("repro: error: ")
+        assert str(missing) in err
+
+
+class TestTrainSurrogate:
+    def test_train_and_reuse(self, design_file, tmp_path, capsys):
+        ckpt = tmp_path / "ckpt"
+        rc = main(["train-surrogate", str(design_file), "-o", str(ckpt),
+                   "--train-samples", "6", "--train-epochs", "2"])
+        assert rc == 0
+        assert (ckpt / "surrogate.json").is_file()
+        assert (ckpt / "unet.npz").is_file()
+        rc = main(["fill", str(design_file), "--method", "neurfill-pkb",
+                   "--model", str(ckpt)])
+        assert rc == 0
+        assert "neurfill-pkb" in capsys.readouterr().out
+
+
+class TestServePipe:
+    """End-to-end: `repro serve --pipe` driven by ServeClient."""
+
+    def test_pipe_serve_round_trip(self, design_file, tmp_path):
+        from repro.serve import ServeClient
+
+        src_dir = os.path.dirname(os.path.dirname(repro.__file__))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+
+        fill_npz = tmp_path / "oneshot.npz"
+        assert main(["fill", str(design_file), "--method", "lin",
+                     "--fill-out", str(fill_npz)]) == 0
+        oneshot = np.load(fill_npz)["fill"]
+
+        with ServeClient.pipe(env=env) as client:
+            assert client.ping(timeout=30)
+            done = client.fill(layout_path=str(design_file), method="lin",
+                               return_fill=True, timeout=120)
+            served = np.array(done["result"]["fill"])
+            # served results are bitwise what the one-shot CLI computes
+            assert np.array_equal(served, oneshot)
+            stats = client.stats(timeout=30)
+            assert stats["counters"]["completed"] >= 1
+            assert stats["queue_depth"] == 0
+            client.shutdown(timeout=30)
+            assert client.close() == 0
+
+    def test_pipe_serve_rejects_bad_method(self, design_file):
+        from repro.serve import ServeClient, ServeError
+
+        src_dir = os.path.dirname(os.path.dirname(repro.__file__))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+        with ServeClient.pipe(env=env) as client:
+            with pytest.raises(ServeError, match="unknown method"):
+                client.fill(layout_path=str(design_file), method="magic",
+                            timeout=30)
+            client.shutdown(timeout=30)
+            assert client.close() == 0

@@ -11,7 +11,11 @@ Subcommands cover the full flow a downstream user needs:
 * ``compare``         — the Table III harness on one layout;
 * ``train-surrogate`` — pre-train a CMP surrogate and save a checkpoint;
 * ``serve``           — run the resident batching service (line-JSON over
-  a stdin/stdout pipe or TCP; see ``repro.serve``).
+  a stdin/stdout pipe or TCP; see ``repro.serve``);
+* ``trace``           — run any other subcommand with ``repro.obs``
+  tracing enabled, write the span/event JSONL and print a human summary
+  to stderr.  The lighter ``--profile`` global flag prints just the
+  summary without writing a file.
 
 Examples::
 
@@ -22,6 +26,8 @@ Examples::
     python -m repro fill a.json --model ckpt/        # skip re-training
     python -m repro serve --pipe --model pkb=ckpt/
     python -m repro compare a.json --skip-cai
+    python -m repro trace -o fill_trace.jsonl fill a.json --method lin
+    python -m repro --profile simulate a.json
 
 Bad inputs (missing layout files, absent checkpoints, malformed JSON)
 exit non-zero with a one-line ``repro: error: ...`` message instead of a
@@ -69,6 +75,9 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--version", action="version",
                         version=f"%(prog)s {__version__}")
+    parser.add_argument("--profile", action="store_true",
+                        help="enable repro.obs tracing for this command and "
+                             "print a per-stage timing summary to stderr")
     sub = parser.add_subparsers(dest="command", required=True)
 
     gen = sub.add_parser("gen-design", help="generate a synthetic benchmark design")
@@ -150,6 +159,17 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--no-train", action="store_true",
                        help="reject neurfill jobs without a registered "
                             "model instead of training inline")
+
+    tracecmd = sub.add_parser(
+        "trace",
+        help="run a subcommand with tracing on; write a JSONL trace")
+    tracecmd.add_argument("-o", "--trace-out", default="repro_trace.jsonl",
+                          metavar="PATH",
+                          help="trace JSONL output path "
+                               "(default repro_trace.jsonl)")
+    tracecmd.add_argument("argv", nargs=argparse.REMAINDER, metavar="CMD...",
+                          help="the subcommand to run under tracing, e.g. "
+                               "'fill a.json --method lin'")
     return parser
 
 
@@ -358,19 +378,60 @@ def _cmd_serve(args) -> int:
     return serve_pipe(server)
 
 
+_HANDLERS = {
+    "gen-design": _cmd_gen_design,
+    "simulate": _cmd_simulate,
+    "fill": _cmd_fill,
+    "compare": _cmd_compare,
+    "train-surrogate": _cmd_train_surrogate,
+    "serve": _cmd_serve,
+}
+
+
+def _cmd_trace(args) -> int:
+    """``repro trace [-o PATH] <subcommand args...>``.
+
+    Runs the wrapped subcommand with a fresh tracer active, writes the
+    span/event JSONL to ``--trace-out`` and prints the human summary to
+    stderr (protocol-safe: stdout stays the subcommand's).
+    """
+    from .obs import format_summary, metrics, trace
+
+    rest = list(args.argv)
+    if rest and rest[0] == "--":
+        rest = rest[1:]
+    if not rest:
+        raise CliError("trace needs a subcommand to run, e.g. "
+                       "'repro trace fill a.json --method lin'")
+    if rest[0] == "trace":
+        raise CliError("trace cannot wrap itself")
+    inner = _build_parser().parse_args(rest)
+    tracer = trace.Tracer()
+    metrics.reset()  # the summary should reflect the wrapped command only
+    with trace.capture(path=args.trace_out, tracer=tracer):
+        rc = _HANDLERS[inner.command](inner)
+    print(format_summary(tracer, metrics.registry()), file=sys.stderr)
+    print(f"trace written to {args.trace_out} "
+          f"({len(tracer.records())} records)", file=sys.stderr)
+    return rc
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
-    handlers = {
-        "gen-design": _cmd_gen_design,
-        "simulate": _cmd_simulate,
-        "fill": _cmd_fill,
-        "compare": _cmd_compare,
-        "train-surrogate": _cmd_train_surrogate,
-        "serve": _cmd_serve,
-    }
     try:
-        return handlers[args.command](args)
+        if args.command == "trace":
+            return _cmd_trace(args)
+        if args.profile:
+            from .obs import format_summary, metrics, trace
+
+            tracer = trace.Tracer()
+            with trace.capture(tracer=tracer):
+                rc = _HANDLERS[args.command](args)
+            print(format_summary(tracer, metrics.registry()),
+                  file=sys.stderr)
+            return rc
+        return _HANDLERS[args.command](args)
     except CliError as exc:
         print(f"repro: error: {exc}", file=sys.stderr)
         return 2

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..layout.layout import FeatureStack, Layout, apply_fill
+from ..obs import trace as obs_trace
 from .dsh import removal_rates
 from .pad import solve_pressure
 from .process import DEFAULT_PROCESS, ProcessParams
@@ -91,31 +92,34 @@ class CmpSimulator:
         Returns:
             A :class:`CmpResult` with per-layer output maps.
         """
-        if not self.params.stack_topography:
-            return self._polish(features, incoming=None)
-        # Sequential multilevel polish: feed each layer's residual
-        # (mean-removed) height into the next layer's starting surfaces.
-        L = features.shape[0]
-        results = []
-        incoming = None
-        for l in range(L):
-            single = FeatureStack(
-                density=features.density[l : l + 1],
-                perimeter=features.perimeter[l : l + 1],
-                wire_width=features.wire_width[l : l + 1],
-                trench_depth=features.trench_depth[l : l + 1],
+        with obs_trace.span("cmp.simulate", cat="cmp",
+                            layers=int(features.shape[0]),
+                            stacked=self.params.stack_topography):
+            if not self.params.stack_topography:
+                return self._polish(features, incoming=None)
+            # Sequential multilevel polish: feed each layer's residual
+            # (mean-removed) height into the next layer's starting surfaces.
+            L = features.shape[0]
+            results = []
+            incoming = None
+            for l in range(L):
+                single = FeatureStack(
+                    density=features.density[l : l + 1],
+                    perimeter=features.perimeter[l : l + 1],
+                    wire_width=features.wire_width[l : l + 1],
+                    trench_depth=features.trench_depth[l : l + 1],
+                )
+                result = self._polish(single, incoming=incoming)
+                results.append(result)
+                residual = result.height[0] - result.height[0].mean()
+                incoming = (self.params.stacking_attenuation * residual)[None]
+            return CmpResult(
+                height=np.concatenate([r.height for r in results]),
+                dishing=np.concatenate([r.dishing for r in results]),
+                erosion=np.concatenate([r.erosion for r in results]),
+                pressure=np.concatenate([r.pressure for r in results]),
+                step_height=np.concatenate([r.step_height for r in results]),
             )
-            result = self._polish(single, incoming=incoming)
-            results.append(result)
-            residual = result.height[0] - result.height[0].mean()
-            incoming = (self.params.stacking_attenuation * residual)[None]
-        return CmpResult(
-            height=np.concatenate([r.height for r in results]),
-            dishing=np.concatenate([r.dishing for r in results]),
-            erosion=np.concatenate([r.erosion for r in results]),
-            pressure=np.concatenate([r.pressure for r in results]),
-            step_height=np.concatenate([r.step_height for r in results]),
-        )
 
     def _polish(self, features: FeatureStack,
                 incoming: np.ndarray | None) -> CmpResult:
@@ -138,30 +142,51 @@ class CmpSimulator:
 
         dt = params.time_step_s
         t = 0.0
+        # Observability: one parent span per polish with one child span
+        # per stage (pressure solve / DSH rates / Preston update),
+        # accumulated across the loop — a no-op singleton when disabled.
+        obs = obs_trace.stages("cmp.polish", cat="cmp",
+                               shape=list(h_up.shape),
+                               steps=params.num_steps)
         # num_steps >= 1 (ProcessParams guarantees it), so the loop always
         # assigns the pressure used by the dishing/erosion terms below.
-        for _ in range(params.num_steps):
-            pressure = solve_pressure(h_up, self.window_um, params)
-            step = h_up - h_down
-            rate_up, rate_down = removal_rates(rho, step, pressure, params)
-            h_up = h_up - rate_up * dt
-            h_down = h_down - rate_down * dt
-            # The up surface can never sink below the down surface.
-            h_up = np.maximum(h_up, h_down)
-            t += dt
-            newly_clear = (h_up - h_down < 0.05 * params.contact_height_a) & (
-                clear_time >= params.polish_time_s
-            )
-            clear_time = np.where(newly_clear, t, clear_time)
+        with obs:
+            for _ in range(params.num_steps):
+                with obs.measure("pressure"):
+                    pressure = solve_pressure(h_up, self.window_um, params)
+                step = h_up - h_down
+                with obs.measure("dsh"):
+                    rate_up, rate_down = removal_rates(rho, step, pressure,
+                                                       params)
+                with obs.measure("preston"):
+                    h_up = h_up - rate_up * dt
+                    h_down = h_down - rate_down * dt
+                    # The up surface can never sink below the down surface.
+                    h_up = np.maximum(h_up, h_down)
+                    t += dt
+                    newly_clear = (
+                        h_up - h_down < 0.05 * params.contact_height_a
+                    ) & (clear_time >= params.polish_time_s)
+                    clear_time = np.where(newly_clear, t, clear_time)
 
-        step = h_up - h_down
-        over_polish = np.maximum(0.0, params.polish_time_s - clear_time)
-        dishing = params.dishing_coefficient * pressure * features.wire_width
-        erosion = params.erosion_coefficient * pressure * rho * over_polish
-        height = (
-            params.initial_film_a
-            + rho * (h_up - dishing) + (1.0 - rho) * h_down - erosion
-        )
+            step = h_up - h_down
+            over_polish = np.maximum(0.0, params.polish_time_s - clear_time)
+            dishing = (params.dishing_coefficient * pressure
+                       * features.wire_width)
+            erosion = params.erosion_coefficient * pressure * rho * over_polish
+            height = (
+                params.initial_film_a
+                + rho * (h_up - dishing) + (1.0 - rho) * h_down - erosion
+            )
+            if obs is not obs_trace.NOOP_STAGES:
+                cleared = clear_time < params.polish_time_s
+                obs.set(
+                    cleared_fraction=float(np.mean(cleared)),
+                    # Iterations-to-convergence: steps until the *last*
+                    # window cleared, or the full budget if some never did.
+                    steps_to_clear=int(np.ceil(clear_time.max() / dt))
+                    if bool(cleared.all()) else params.num_steps,
+                )
         return CmpResult(
             height=height, dishing=dishing, erosion=erosion,
             pressure=pressure, step_height=step,

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..obs import trace as obs_trace
 from ..optimize.multistart import refine_starting_points_batched
 from ..optimize.sqp import SqpOptimizer, SqpResult
 from ..surrogate.network import CmpNeuralNetwork
@@ -159,11 +160,15 @@ def msp_sqp(
             model.evaluate_many, starts, lower, upper, optimizer
         )
     else:
-        results = [
-            optimizer.maximize(model.value_and_grad, s, lower, upper,
-                               fun_value=model.quality)
-            for s in starts
-        ]
+        with obs_trace.span("opt.multistart", cat="opt", starts=len(starts),
+                            driver="msp-sequential"):
+            results = []
+            for index, start in enumerate(starts):
+                with obs_trace.span("opt.start", cat="opt", index=index):
+                    results.append(
+                        optimizer.maximize(model.value_and_grad, start,
+                                           lower, upper,
+                                           fun_value=model.quality))
     best = max(results, key=lambda r: r.value)
     return MspSqpOutcome(
         best_fill=best.x, best_quality=best.value, results=results,

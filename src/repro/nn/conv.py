@@ -74,7 +74,7 @@ def conv2d(
         raise ValueError("kernel larger than padded input")
 
     xp = _pad_spatial(x.data, padding)
-    out_data = dispatch.corr2d(xp, weight.data, stride)
+    out_data = dispatch.corr2d(xp, weight.data, stride, tag="fwd")
     if bias is not None:
         out_data = out_data + bias.data[None, :, None, None]
     padded_shape = xp.shape
@@ -89,14 +89,16 @@ def conv2d(
         if weight.requires_grad:
             weight._accumulate(
                 dispatch.corr2d_weight_grad(
-                    grad, _pad_spatial(x.data, padding), kh, kw, stride
+                    grad, _pad_spatial(x.data, padding), kh, kw, stride,
+                    tag="bwd_weight",
                 )
             )
         if x.requires_grad:
             # Input gradient as a full correlation of the dilated upstream
             # gradient with the flipped, channel-transposed kernel.
             gfull = dispatch.corr2d(
-                _dilate_pad(grad, kh, kw, stride), _flip_transpose(weight.data), 1
+                _dilate_pad(grad, kh, kw, stride), _flip_transpose(weight.data),
+                1, tag="bwd_input",
             )
             if gfull.shape == padded_shape:
                 gxp = gfull
@@ -133,7 +135,8 @@ def conv_transpose2d(
     # Scatter as a dense gather: correlate the dilated input with the
     # flipped kernel, (C, O) transposed into corr2d's (out, in) order.
     out_data = dispatch.corr2d(
-        _dilate_pad(x.data, kh, kw, stride), _flip_transpose(weight.data), 1
+        _dilate_pad(x.data, kh, kw, stride), _flip_transpose(weight.data), 1,
+        tag="fwd",
     )
     if bias is not None:
         out_data = out_data + bias.data[None, :, None, None]
@@ -149,12 +152,14 @@ def conv_transpose2d(
             # the weight-grad primitive with input and gradient roles
             # swapped returns the (C, O, kh, kw) layout directly.
             weight._accumulate(
-                dispatch.corr2d_weight_grad(x.data, grad, kh, kw, stride)
+                dispatch.corr2d_weight_grad(x.data, grad, kh, kw, stride,
+                                            tag="bwd_weight")
             )
         if x.requires_grad:
             # Strided gather of the upstream gradient: a plain strided
             # correlation with the weight read as (out=C, in=O).
-            x._accumulate(dispatch.corr2d(grad, weight.data, stride))
+            x._accumulate(dispatch.corr2d(grad, weight.data, stride,
+                                          tag="bwd_input"))
 
     out._backward = backward
     return out

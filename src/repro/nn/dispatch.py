@@ -52,6 +52,8 @@ import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
 
 from ..config import conv_backend_override, conv_plan_cache_path
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
 
 Array = np.ndarray
 
@@ -260,8 +262,35 @@ def _calibrate(key: str, eligible: tuple[str, ...],
     return best, results[best]
 
 
+def _run_observed(op: str, tag: str, key: str, backend: str,
+                  run: Callable[[str], Array]) -> Array:
+    """Execute ``run(backend)``; when obs is enabled, time it and record
+    a per-op span plus aggregate call counts / latency.
+
+    The disabled path is the plain call — :func:`_dispatch` only routes
+    through here after checking ``obs_trace.active()``, so tracing off
+    costs nothing and perturbs nothing (timing adds no arithmetic to the
+    conv result either way).
+    """
+    tracer = obs_trace.active()
+    if tracer is None:
+        return run(backend)
+    t0 = time.perf_counter()
+    out = run(backend)
+    dur = time.perf_counter() - t0
+    name = f"nn.{op}.{tag}" if tag else f"nn.{op}"
+    tracer.record_span(name, "nn", dur, backend=backend, key=key)
+    registry = obs_metrics.registry()
+    registry.incr(f"{name}.calls")
+    registry.record_latency(name, dur)
+    return out
+
+
 def _dispatch(op: str, key: str, cells: int, kh: int, kw: int, stride: int,
-              run: Callable[[str], Array]) -> Array:
+              run: Callable[[str], Array], tag: str = "") -> Array:
+    if obs_trace.active() is not None:
+        inner = run
+        run = lambda backend: _run_observed(op, tag, key, backend, inner)
     override = conv_backend_override()
     if override is not None:
         if override not in _eligible(stride):
@@ -282,11 +311,13 @@ def _dispatch(op: str, key: str, cells: int, kh: int, kw: int, stride: int,
 # ----------------------------------------------------------------------
 # public API
 # ----------------------------------------------------------------------
-def corr2d(xp: Array, w: Array, stride: int = 1) -> Array:
+def corr2d(xp: Array, w: Array, stride: int = 1, tag: str = "") -> Array:
     """Valid cross-correlation ``xp (B,C,H,W) * w (O,C,kh,kw)``.
 
     ``xp`` must already carry any zero padding; the selected backend is
-    shape-planned (see module docstring).
+    shape-planned (see module docstring).  ``tag`` labels the call for
+    observability only (``"fwd"`` / ``"bwd_input"`` from the conv
+    layers); it never affects dispatch or numerics.
     """
     B, C, H, W = xp.shape
     O, _, kh, kw = w.shape
@@ -294,11 +325,12 @@ def corr2d(xp: Array, w: Array, stride: int = 1) -> Array:
     return _dispatch(
         "corr", key, H * W, kh, kw, stride,
         lambda name: _CORR_BACKENDS[name](xp, w, stride),
+        tag=tag,
     )
 
 
 def corr2d_weight_grad(g: Array, xp: Array, kh: int, kw: int,
-                       stride: int = 1) -> Array:
+                       stride: int = 1, tag: str = "") -> Array:
     """Kernel-shaped adjoint ``gw[o,c,i,j] = sum g[b,o,h,w] xp[b,c,hs+i,ws+j]``."""
     B, C, H, W = xp.shape
     O = g.shape[1]
@@ -306,6 +338,7 @@ def corr2d_weight_grad(g: Array, xp: Array, kh: int, kw: int,
     return _dispatch(
         "wgrad", key, H * W, kh, kw, stride,
         lambda name: _WGRAD_BACKENDS[name](g, xp, kh, kw, stride),
+        tag=tag,
     )
 
 

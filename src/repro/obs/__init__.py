@@ -1,0 +1,57 @@
+"""Unified observability for the NeurFill reproduction.
+
+``repro.obs`` is a dependency-free tracing / metrics / profiling layer
+shared by every subsystem:
+
+* :mod:`repro.obs.trace` — monotonic-clock span tracer with per-thread
+  nested contexts, bounded record storage, JSONL export
+  (``repro-trace/1`` schema) and validation.
+* :mod:`repro.obs.metrics` — bounded counter / histogram / latency
+  registry (the fixed extraction of the old ``repro.serve.stats``
+  internals; the serve stats endpoint is now one view of this data).
+* :mod:`repro.obs.summary` — the human-readable aggregation printed by
+  ``repro trace <cmd>`` and ``repro --profile <cmd>``.
+
+Instrumented call-sites use the module-level helpers::
+
+    from repro.obs import trace
+
+    with trace.span("cmp.simulate", cat="cmp", layers=3):
+        ...
+    trace.event("train.epoch", cat="train", epoch=5, loss=0.01)
+
+When no tracer is active (the default) these return shared no-op
+singletons — one global load and ``None`` check, no allocation — so
+instrumentation is zero-cost and results are bitwise identical whether
+or not the calls are present.  Enable tracing for a scope with
+:func:`repro.obs.trace.capture`, or process-wide with
+:func:`repro.obs.trace.activate`.
+"""
+
+from __future__ import annotations
+
+from . import metrics, summary, trace
+from .metrics import Histogram, LatencyTracker, MetricsRegistry
+from .summary import format_summary
+from .trace import (
+    TRACE_SCHEMA,
+    Tracer,
+    capture,
+    validate_trace_lines,
+    validate_trace_path,
+)
+
+__all__ = [
+    "Histogram",
+    "LatencyTracker",
+    "MetricsRegistry",
+    "TRACE_SCHEMA",
+    "Tracer",
+    "capture",
+    "format_summary",
+    "metrics",
+    "summary",
+    "trace",
+    "validate_trace_lines",
+    "validate_trace_path",
+]

@@ -1,0 +1,76 @@
+"""Human-readable aggregation of a trace: the ``repro trace`` summary.
+
+Aggregates finished spans by name (count, total/mean/max duration) and
+folds in the global metrics registry, producing the table ``repro trace
+<cmd>`` and ``repro --profile <cmd>`` print to stderr.  The JSONL file
+holds the raw records; this is the at-a-glance view.
+"""
+
+from __future__ import annotations
+
+from .metrics import MetricsRegistry
+from .trace import Tracer
+
+
+def aggregate_spans(tracer: Tracer) -> list[dict]:
+    """Per-name span statistics, sorted by total duration descending."""
+    stats: dict[str, dict] = {}
+    for record in tracer.records(kind="span"):
+        entry = stats.get(record["name"])
+        if entry is None:
+            entry = stats[record["name"]] = {
+                "name": record["name"], "cat": record["cat"],
+                "count": 0, "total_us": 0, "max_us": 0,
+            }
+        entry["count"] += 1
+        entry["total_us"] += record["dur_us"]
+        entry["max_us"] = max(entry["max_us"], record["dur_us"])
+    rows = sorted(stats.values(), key=lambda e: -e["total_us"])
+    for row in rows:
+        row["mean_us"] = row["total_us"] // row["count"]
+    return rows
+
+
+def format_summary(tracer: Tracer,
+                   registry: MetricsRegistry | None = None) -> str:
+    """The human summary: span table + event counts + counters."""
+    lines = ["== repro trace summary =="]
+    rows = aggregate_spans(tracer)
+    if rows:
+        lines.append(f"{'span':<40} {'count':>7} {'total_ms':>10} "
+                     f"{'mean_ms':>10} {'max_ms':>10}")
+        for row in rows:
+            lines.append(
+                f"{row['name']:<40} {row['count']:>7} "
+                f"{row['total_us'] / 1e3:>10.2f} "
+                f"{row['mean_us'] / 1e3:>10.3f} "
+                f"{row['max_us'] / 1e3:>10.3f}")
+    else:
+        lines.append("(no spans recorded)")
+
+    events: dict[str, int] = {}
+    for record in tracer.records(kind="event"):
+        events[record["name"]] = events.get(record["name"], 0) + 1
+    if events:
+        lines.append("")
+        lines.append("events: " + "  ".join(
+            f"{name}={count}" for name, count in sorted(events.items())))
+
+    if tracer.dropped:
+        lines.append(f"(dropped {tracer.dropped} records past the "
+                     f"{tracer.max_records}-record cap)")
+
+    if registry is not None:
+        snapshot = registry.snapshot()
+        if snapshot["counters"]:
+            lines.append("")
+            lines.append("counters: " + "  ".join(
+                f"{name}={value}"
+                for name, value in sorted(snapshot["counters"].items())))
+        for name, tracker in sorted(snapshot["latency"].items()):
+            if tracker.get("count"):
+                lines.append(
+                    f"latency {name}: n={tracker['count']} "
+                    f"mean={tracker['mean_ms']}ms p50={tracker['p50_ms']}ms "
+                    f"p95={tracker['p95_ms']}ms p99={tracker['p99_ms']}ms")
+    return "\n".join(lines)

@@ -19,6 +19,8 @@ from typing import Callable
 import numpy as np
 
 from ..config import rng_from_seed
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
 from .sqp import SqpOptimizer, SqpResult, ValueAndGrad
 
 #: Batched oracle: ``(points (k, *shape), need_grad (k,) bool) ->
@@ -74,7 +76,13 @@ def refine_starting_points(
     if len(starts) == 0:
         raise ValueError("no starting points supplied")
     optimizer = optimizer or SqpOptimizer()
-    return [optimizer.maximize(fun, s, lower, upper) for s in starts]
+    with obs_trace.span("opt.multistart", cat="opt", starts=len(starts),
+                        driver="sequential"):
+        results = []
+        for index, start in enumerate(starts):
+            with obs_trace.span("opt.start", cat="opt", index=index):
+                results.append(optimizer.maximize(fun, start, lower, upper))
+        return results
 
 
 def refine_starting_points_batched(
@@ -127,18 +135,32 @@ def refine_starting_points_batched(
             results[i] = done.value
             pending.pop(i, None)
 
-    for i in range(K):
-        advance(i, None)
-    while pending:
-        live = sorted(pending)
-        points = np.stack([pending[i][1] for i in live])
-        need_grad = np.array([pending[i][0] == "grad" for i in live])
-        values, grads = fun_batch(points, need_grad)
-        for row, i in enumerate(live):
-            if need_grad[row]:
-                advance(i, (float(values[row]), np.asarray(grads[row], dtype=float)))
-            else:
-                advance(i, float(values[row]))
+    observing = obs_trace.active() is not None
+    rounds = 0
+    oracle_rows = 0
+    with obs_trace.span("opt.multistart", cat="opt", starts=K,
+                        driver="batched") as span:
+        for i in range(K):
+            advance(i, None)
+        while pending:
+            live = sorted(pending)
+            points = np.stack([pending[i][1] for i in live])
+            need_grad = np.array([pending[i][0] == "grad" for i in live])
+            if observing:
+                rounds += 1
+                oracle_rows += len(live)
+                # Lockstep health metric: how wide each batched oracle
+                # call is — the whole point of the batched driver.
+                obs_metrics.registry().observe("opt.batch_width", len(live))
+            values, grads = fun_batch(points, need_grad)
+            for row, i in enumerate(live):
+                if need_grad[row]:
+                    advance(i, (float(values[row]),
+                                np.asarray(grads[row], dtype=float)))
+                else:
+                    advance(i, float(values[row]))
+        if observing:
+            span.set(rounds=rounds, oracle_rows=oracle_rows)
     return results  # type: ignore[return-value]
 
 

@@ -27,6 +27,7 @@ from typing import Callable, Generator
 
 import numpy as np
 
+from ..obs import trace as obs_trace
 from .boxqp import solve_box_qp
 from .linesearch import projected_armijo_steps
 
@@ -149,12 +150,16 @@ class SqpOptimizer:
         lo, hi = lower.ravel(), upper.ravel()
 
         evals = 0
+        grad_evals = 0
+        linesearch_trials = 0
+        qp_iterations = 0
 
         def request_grad(z: np.ndarray) -> EvalRequest:
             return ("grad", z.reshape(shape))
 
         value, grad_full = yield request_grad(x)
         evals += 1
+        grad_evals += 1
         f, g = float(value), np.asarray(grad_full, dtype=float).ravel()
         history = [f]
         n = x.size
@@ -171,6 +176,7 @@ class SqpOptimizer:
 
             if self.hessian == "dense":
                 qp = solve_box_qp(B, -g, lo - x, hi - x)
+                qp_iterations += qp.iterations
                 direction = qp.x
             else:
                 direction = self._lbfgs_direction(g, memory)
@@ -211,12 +217,14 @@ class SqpOptimizer:
                     break
                 raw = yield ("value", trial.reshape(shape))
                 evals += 1
+                linesearch_trials += 1
                 trial_value = -float(raw)
             if not np.any(x_new != x):
                 converged = True
                 break
             value, grad_full = yield request_grad(x_new)
             evals += 1
+            grad_evals += 1
             f_new, g_new = float(value), np.asarray(grad_full, dtype=float).ravel()
 
             s = x_new - x
@@ -231,6 +239,20 @@ class SqpOptimizer:
             x, f, g = x_new, f_new, g_new
             history.append(f)
 
+        # Observability: one event per completed SQP run carrying the
+        # objective curve and the iteration-level counters (line-search
+        # trials, gradient evaluations, dense-QP inner iterations).  An
+        # event — not a span — because under the lockstep batched driver
+        # many generators interleave on one thread, so wall-clock
+        # nesting would be meaningless.  No-op when tracing is off.
+        if obs_trace.active() is not None:
+            obs_trace.event(
+                "opt.sqp", cat="opt", iterations=iteration,
+                evaluations=evals, grad_evals=grad_evals,
+                linesearch_trials=linesearch_trials,
+                qp_iterations=qp_iterations, hessian=self.hessian,
+                converged=converged, value=f, history=list(history),
+            )
         return SqpResult(
             x=x.reshape(shape), value=f, iterations=iteration,
             evaluations=evals, converged=converged, history=history,

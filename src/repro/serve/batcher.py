@@ -35,6 +35,7 @@ import time
 
 import numpy as np
 
+from ..obs import trace as obs_trace
 from ..surrogate.network import CmpNeuralNetwork, PlanarityEvaluation
 from ..surrogate.objectives import PlanarityWeights
 from .stats import ServeStats
@@ -175,20 +176,22 @@ class MicroBatcher:
     def _run_group(self, key: tuple, group: list[_PendingEval]) -> None:
         weights = PlanarityWeights(*key)
         try:
-            fills = np.stack([p.fill for p in group])
-            mask = np.array([p.want_grad for p in group], dtype=bool)
-            batch = self.network.evaluate_batch(fills, weights,
-                                                grad_mask=mask)
-            for k, p in enumerate(group):
-                gradient = None
-                if p.want_grad and batch.gradient is not None:
-                    gradient = batch.gradient[k].copy()
-                p.result = PlanarityEvaluation(
-                    s_plan=float(batch.s_plan[k]),
-                    breakdown=batch.breakdowns[k],
-                    heights=batch.heights[k].copy(),
-                    gradient=gradient,
-                )
+            with obs_trace.span("serve.batch_flush", cat="serve",
+                                size=len(group)):
+                fills = np.stack([p.fill for p in group])
+                mask = np.array([p.want_grad for p in group], dtype=bool)
+                batch = self.network.evaluate_batch(fills, weights,
+                                                    grad_mask=mask)
+                for k, p in enumerate(group):
+                    gradient = None
+                    if p.want_grad and batch.gradient is not None:
+                        gradient = batch.gradient[k].copy()
+                    p.result = PlanarityEvaluation(
+                        s_plan=float(batch.s_plan[k]),
+                        breakdown=batch.breakdowns[k],
+                        heights=batch.heights[k].copy(),
+                        gradient=gradient,
+                    )
         except BaseException as exc:  # propagate into every waiter
             for p in group:
                 p.error = exc

@@ -35,6 +35,7 @@ import numpy as np
 
 from .. import config as repro_config
 from ..baselines import cai_fill, lin_fill, tao_fill
+from ..obs import trace as obs_trace
 from ..cmp.simulator import CmpSimulator
 from ..core import FillProblem, NeurFill, ScoreCoefficients, evaluate_solution
 from ..core.scoring import planarity_metrics
@@ -359,9 +360,11 @@ class FillServer:
     # Job execution
     # ------------------------------------------------------------------
     def _execute(self, request: Request) -> dict:
-        if request.op == "simulate":
-            return self._simulate_job(request.params)
-        return self._fill_job(request.params)
+        with obs_trace.span(f"serve.{request.op}", cat="serve",
+                            job_id=request.id):
+            if request.op == "simulate":
+                return self._simulate_job(request.params)
+            return self._fill_job(request.params)
 
     def _load_layout(self, params: dict) -> tuple[Layout, str]:
         if "layout" in params:

@@ -1,40 +1,36 @@
-"""Service introspection: counters, batch histogram, latency percentiles.
+"""Service introspection: one view over the shared ``repro.obs`` metrics.
 
-Everything here is O(1) per event and bounded in memory (sliding sample
-windows), so a long-lived server never accumulates unbounded state.
+Historically this module owned its own counter/histogram/latency
+implementations; they now live in :mod:`repro.obs.metrics` (extracted
+with two correctness fixes — see that module's docstring: the latency
+mean is computed over the same sliding window as the percentiles, with
+the lifetime count reported separately as ``count_total``, and the
+percentile index uses the banker's-rounding-free nearest-rank formula).
+:class:`ServeStats` keeps its PR 3 API — ``incr`` / ``record_batch`` /
+``record_latency`` / ``snapshot`` — as a thin facade over one
+:class:`~repro.obs.metrics.MetricsRegistry`, so the serve ``stats``
+response is simply a stable serialisation of the shared data.
+
+Serialisation contract: ``batch_histogram`` keys are **strings**,
+sorted by numeric value (``"2"`` before ``"10"``), so clients can parse
+the JSON deterministically regardless of Python dict ordering history.
+Everything is O(1) per event and bounded in memory, so a long-lived
+server never accumulates unbounded state.
 """
 
 from __future__ import annotations
 
-import threading
-from collections import Counter, deque
+from ..obs.metrics import (  # re-exported for backwards compatibility
+    DEFAULT_WINDOW,
+    Histogram,
+    LatencyTracker,
+    MetricsRegistry,
+)
 
+__all__ = ["ServeStats", "LatencyTracker", "Histogram", "MetricsRegistry"]
 
-class LatencyTracker:
-    """Sliding-window latency percentiles for one pipeline stage."""
-
-    def __init__(self, window: int = 2048):
-        self._samples: deque[float] = deque(maxlen=window)
-        self._count = 0
-        self._total = 0.0
-
-    def record(self, seconds: float) -> None:
-        self._samples.append(seconds)
-        self._count += 1
-        self._total += seconds
-
-    def snapshot(self) -> dict:
-        """Counters plus p50/p95/p99 over the sample window, in ms."""
-        out = {"count": self._count}
-        if self._count:
-            out["mean_ms"] = round(self._total / self._count * 1e3, 3)
-        if self._samples:
-            ordered = sorted(self._samples)
-            n = len(ordered)
-            for q in (50, 95, 99):
-                idx = min(n - 1, max(0, round(q / 100 * (n - 1))))
-                out[f"p{q}_ms"] = round(ordered[idx] * 1e3, 3)
-        return out
+#: Histogram name of coalesced micro-batch sizes inside the registry.
+BATCH_HISTOGRAM = "batch_size"
 
 
 class ServeStats:
@@ -44,35 +40,37 @@ class ServeStats:
     #: queue, executing, and accepted-to-terminal-response overall.
     STAGES = ("queue_wait", "execute", "total")
 
-    def __init__(self, window: int = 2048):
-        self._lock = threading.Lock()
-        self._counters: Counter[str] = Counter()
-        self._batch_sizes: Counter[int] = Counter()
-        self._stages = {name: LatencyTracker(window) for name in self.STAGES}
+    def __init__(self, window: int = DEFAULT_WINDOW,
+                 registry: MetricsRegistry | None = None):
+        self._registry = registry or MetricsRegistry(window=window)
+        for stage in self.STAGES:
+            self._registry.ensure_latency(stage)
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        """The backing shared registry (for obs integration and tests)."""
+        return self._registry
 
     def incr(self, name: str, n: int = 1) -> None:
-        with self._lock:
-            self._counters[name] += n
+        self._registry.incr(name, n)
 
     def record_batch(self, size: int) -> None:
         """One micro-batch of ``size`` coalesced evaluations was flushed."""
-        with self._lock:
-            self._batch_sizes[size] += 1
+        self._registry.observe(BATCH_HISTOGRAM, int(size))
 
     def record_latency(self, stage: str, seconds: float) -> None:
-        with self._lock:
-            self._stages[stage].record(seconds)
+        if stage not in self.STAGES:
+            raise KeyError(f"unknown latency stage {stage!r}; "
+                           f"expected one of {self.STAGES}")
+        self._registry.record_latency(stage, seconds)
 
     def snapshot(self) -> dict:
-        with self._lock:
-            return {
-                "counters": dict(self._counters),
-                "batch_histogram": {
-                    str(size): count
-                    for size, count in sorted(self._batch_sizes.items())
-                },
-                "latency": {
-                    name: tracker.snapshot()
-                    for name, tracker in self._stages.items()
-                },
-            }
+        shared = self._registry.snapshot()
+        snapshot = {
+            "counters": shared["counters"],
+            "batch_histogram": shared["histograms"].get(BATCH_HISTOGRAM, {}),
+            "latency": {stage: shared["latency"][stage]
+                        for stage in self.STAGES
+                        if stage in shared["latency"]},
+        }
+        return snapshot

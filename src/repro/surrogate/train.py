@@ -13,6 +13,7 @@ from ..nn.modules import Module
 from ..nn.optim import Adam
 from ..nn.tensor import Tensor
 from ..nn.unet import UNet
+from ..obs import trace as obs_trace
 from .datagen import SurrogateDataset, build_dataset
 from .extraction import NUM_FEATURE_CHANNELS
 from .network import CmpNeuralNetwork, HeightNormalizer
@@ -66,24 +67,32 @@ def train_unet(unet: Module, dataset: SurrogateDataset,
     optimizer = Adam(unet.parameters(), lr=config.learning_rate)
     history = TrainHistory()
     unet.train()
-    for _ in range(config.epochs):
-        order = rng.permutation(n) if config.shuffle else np.arange(n)
-        epoch_losses = []
-        for start in range(0, n, config.batch_size):
-            idx = order[start : start + config.batch_size]
-            optimizer.zero_grad()
-            pred = unet(Tensor(X[idx]))
-            target = Tensor(Y[idx])
-            loss = mse_loss(pred, target)
-            if config.variance_weight > 0:
-                pred_var = pred.var(axis=(2, 3))
-                target_var = target.var(axis=(2, 3))
-                mismatch = pred_var - target_var
-                loss = loss + (mismatch * mismatch).mean() * config.variance_weight
-            loss.backward()
-            optimizer.step()
-            epoch_losses.append(loss.item())
-        history.losses.append(float(np.mean(epoch_losses)))
+    with obs_trace.span("train.fit", cat="train", samples=int(n),
+                        epochs=config.epochs, batch_size=config.batch_size):
+        for epoch in range(config.epochs):
+            with obs_trace.span("train.epoch", cat="train", epoch=epoch):
+                order = rng.permutation(n) if config.shuffle else np.arange(n)
+                epoch_losses = []
+                for start in range(0, n, config.batch_size):
+                    idx = order[start : start + config.batch_size]
+                    optimizer.zero_grad()
+                    pred = unet(Tensor(X[idx]))
+                    target = Tensor(Y[idx])
+                    loss = mse_loss(pred, target)
+                    if config.variance_weight > 0:
+                        pred_var = pred.var(axis=(2, 3))
+                        target_var = target.var(axis=(2, 3))
+                        mismatch = pred_var - target_var
+                        loss = loss + (mismatch * mismatch).mean() \
+                            * config.variance_weight
+                    loss.backward()
+                    optimizer.step()
+                    epoch_losses.append(loss.item())
+                epoch_loss = float(np.mean(epoch_losses))
+                history.losses.append(epoch_loss)
+                obs_trace.event("train.epoch_loss", cat="train",
+                                epoch=epoch, loss=epoch_loss,
+                                batches=len(epoch_losses))
     unet.eval()
     return history
 
@@ -157,16 +166,23 @@ def pretrain_surrogate(
     without changing the dataset.  Returns the bound CMP neural network,
     the training history and the held-out accuracy report.
     """
-    dataset = build_dataset(
-        sources, sample_count, tile_rows, tile_cols,
-        simulator=simulator, seed=seed, n_workers=n_workers,
-    )
+    with obs_trace.span("train.dataset", cat="train",
+                        samples=sample_count,
+                        tiles=[tile_rows, tile_cols]):
+        dataset = build_dataset(
+            sources, sample_count, tile_rows, tile_cols,
+            simulator=simulator, seed=seed, n_workers=n_workers,
+        )
     train_set, test_set = dataset.split(test_fraction=0.2, seed=seed)
     unet = UNet(
         in_channels=NUM_FEATURE_CHANNELS, out_channels=1,
         base_channels=base_channels, depth=depth, rng=seed,
     )
     history = train_unet(unet, train_set, config)
-    report = evaluate_accuracy(unet, test_set)
+    with obs_trace.span("train.evaluate", cat="train"):
+        report = evaluate_accuracy(unet, test_set)
+    obs_trace.event("train.accuracy", cat="train",
+                    mean_relative_error=report.mean_relative_error,
+                    max_window_relative_error=report.max_window_relative_error)
     network = CmpNeuralNetwork(target_layout, unet, dataset.normalizer)
     return network, history, report

@@ -1,0 +1,197 @@
+"""Metrics correctness: windowed mean, nearest-rank percentiles,
+histogram key stability, registry bounds and thread-safety, and the
+ServeStats facade regressions."""
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    OVERFLOW_BUCKET,
+    Histogram,
+    LatencyTracker,
+    MetricsRegistry,
+    nearest_rank_index,
+)
+from repro.serve.stats import BATCH_HISTOGRAM, ServeStats
+
+
+class TestNearestRank:
+    def test_textbook_values(self):
+        # 100 samples: p50 is the 50th smallest (index 49) — no banker's
+        # rounding pulling it to index 50.
+        assert nearest_rank_index(50, 100) == 49
+        assert nearest_rank_index(95, 100) == 94
+        assert nearest_rank_index(99, 100) == 98
+
+    def test_monotone_in_q(self):
+        for n in (1, 2, 3, 7, 100, 101):
+            indices = [nearest_rank_index(q, n) for q in range(1, 101)]
+            assert indices == sorted(indices)
+            assert indices[-1] == n - 1
+
+    def test_small_windows(self):
+        assert nearest_rank_index(50, 1) == 0
+        assert nearest_rank_index(99, 2) == 1
+        assert nearest_rank_index(50, 2) == 0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            nearest_rank_index(50, 0)
+
+
+class TestLatencyTracker:
+    def test_windowed_mean_matches_percentile_window(self):
+        """Regression: mean must be over the same sliding window as the
+        percentiles, not the lifetime."""
+        tracker = LatencyTracker(window=8)
+        # Slow warm-up the window must forget entirely.
+        for _ in range(100):
+            tracker.record(1.0)
+        for v in range(1, 9):  # window now holds 0.001..0.008 s
+            tracker.record(v / 1000.0)
+        snap = tracker.snapshot()
+        assert snap["count"] == 8
+        assert snap["count_total"] == 108
+        assert snap["mean_ms"] == pytest.approx(4.5)  # mean of 1..8 ms
+        assert snap["p50_ms"] == pytest.approx(4.0)
+        assert snap["p99_ms"] == pytest.approx(8.0)
+
+    def test_exactly_at_window_boundary(self):
+        tracker = LatencyTracker(window=4)
+        for v in (0.001, 0.002, 0.003, 0.004):
+            tracker.record(v)
+        snap = tracker.snapshot()
+        assert snap["count"] == snap["count_total"] == 4
+        assert snap["mean_ms"] == pytest.approx(2.5)
+
+    def test_empty_snapshot(self):
+        snap = LatencyTracker().snapshot()
+        assert snap == {"count": 0, "count_total": 0}
+
+    def test_percentiles_on_100_samples(self):
+        tracker = LatencyTracker(window=200)
+        for ms in range(1, 101):
+            tracker.record(ms / 1000.0)
+        snap = tracker.snapshot()
+        assert snap["p50_ms"] == pytest.approx(50.0)
+        assert snap["p95_ms"] == pytest.approx(95.0)
+        assert snap["p99_ms"] == pytest.approx(99.0)
+
+
+class TestHistogram:
+    def test_string_keys_sorted_numerically(self):
+        histogram = Histogram()
+        for key in (10, 2, 1, 33, 2):
+            histogram.record(key)
+        snap = histogram.snapshot()
+        assert list(snap) == ["1", "2", "10", "33"]  # numeric, not lexicographic
+        assert snap["2"] == 2
+        assert all(isinstance(k, str) for k in snap)
+
+    def test_overflow_bucket(self):
+        histogram = Histogram(max_buckets=3)
+        for key in range(10):
+            histogram.record(key)
+        histogram.record(1)  # existing keys still count normally
+        snap = histogram.snapshot()
+        assert snap[OVERFLOW_BUCKET] == 7
+        assert snap["1"] == 2
+        assert len(snap) == 4  # 3 real buckets + overflow
+
+
+class TestMetricsRegistry:
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.incr("jobs", 2)
+        registry.observe("batch", 4)
+        registry.record_latency("execute", 0.01)
+        registry.ensure_latency("queue_wait")
+        snap = registry.snapshot()
+        assert snap["counters"] == {"jobs": 2}
+        assert snap["histograms"]["batch"] == {"4": 1}
+        assert snap["latency"]["execute"]["count"] == 1
+        assert snap["latency"]["queue_wait"]["count"] == 0
+        assert "dropped_metrics" not in snap
+
+    def test_name_cap_counts_drops(self):
+        registry = MetricsRegistry(max_metrics=2)
+        registry.incr("a")
+        registry.record_latency("b", 0.1)
+        registry.incr("c")  # over the cap
+        registry.observe("d", 1)  # over the cap
+        snap = registry.snapshot()
+        assert set(snap["counters"]) == {"a"}
+        assert snap["dropped_metrics"] == 2
+        registry.incr("a")  # existing names still work at the cap
+        assert registry.snapshot()["counters"]["a"] == 2
+
+    def test_concurrent_writers(self):
+        registry = MetricsRegistry()
+        n_threads, per_thread = 8, 200
+        barrier = threading.Barrier(n_threads)
+
+        def work():
+            barrier.wait()
+            for i in range(per_thread):
+                registry.incr("ops")
+                registry.observe("sizes", i % 4)
+                registry.record_latency("stage", 0.001)
+
+        threads = [threading.Thread(target=work) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        snap = registry.snapshot()
+        total = n_threads * per_thread
+        assert snap["counters"]["ops"] == total
+        assert sum(snap["histograms"]["sizes"].values()) == total
+        assert snap["latency"]["stage"]["count_total"] == total
+
+    def test_reset(self):
+        registry = MetricsRegistry()
+        registry.incr("x")
+        registry.reset()
+        assert registry.snapshot()["counters"] == {}
+
+
+class TestServeStatsFacade:
+    def test_window_overflow_regression(self):
+        """The PR 3 bug: lifetime mean next to windowed percentiles.
+        After overflowing the window, every reported latency statistic
+        must describe the same recent window."""
+        stats = ServeStats(window=16)
+        for _ in range(500):
+            stats.record_latency("execute", 2.0)  # slow history
+        for _ in range(16):
+            stats.record_latency("execute", 0.004)  # recent steady state
+        latency = stats.snapshot()["latency"]["execute"]
+        assert latency["count"] == 16
+        assert latency["count_total"] == 516
+        # Pre-fix the mean was ~1938 ms while p50 said 4 ms.
+        assert latency["mean_ms"] == pytest.approx(4.0)
+        assert latency["p50_ms"] == pytest.approx(4.0)
+        assert latency["p99_ms"] == pytest.approx(4.0)
+
+    def test_batch_histogram_string_keys(self):
+        stats = ServeStats()
+        for size in (16, 2, 9, 2):
+            stats.record_batch(size)
+        snap = stats.snapshot()
+        assert list(snap["batch_histogram"]) == ["2", "9", "16"]
+        assert snap["batch_histogram"]["2"] == 2
+
+    def test_stage_validation_and_counters(self):
+        stats = ServeStats()
+        stats.incr("jobs_completed")
+        with pytest.raises(KeyError):
+            stats.record_latency("nonsense", 0.1)
+        snap = stats.snapshot()
+        assert snap["counters"]["jobs_completed"] == 1
+        assert set(snap["latency"]) == set(ServeStats.STAGES)
+
+    def test_registry_exposed(self):
+        stats = ServeStats()
+        stats.record_batch(3)
+        assert stats.registry.snapshot()["histograms"][BATCH_HISTOGRAM] == {"3": 1}

@@ -1,0 +1,137 @@
+"""Acceptance-level obs tests.
+
+* Instrumentation must be invisible when disabled: identical bitwise
+  results, a shared no-op singleton on the hot path.
+* ``repro trace fill`` must emit a schema-valid JSONL trace covering
+  all four instrumented subsystems (nn, cmp, opt, train).
+* Timing audit guard: benches and library code must never time with
+  wall-clock ``time.time()``.
+"""
+
+import pathlib
+import re
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.cmp import CmpSimulator
+from repro.layout import make_design_a
+from repro.obs import trace
+from repro.obs.trace import NOOP_SPAN, Tracer, capture, validate_trace_path
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_tracer():
+    assert trace.active() is None
+    yield
+    assert trace.active() is None
+
+
+class TestNoopGuarantees:
+    def test_disabled_span_is_shared_singleton(self):
+        # No allocation on the disabled path: same object every call.
+        assert trace.span("a", cat="x", attr=1) is NOOP_SPAN
+        assert trace.span("b") is trace.span("c")
+        assert trace.stages("s") is trace.NOOP_STAGES
+
+    def test_simulate_bitwise_identical_with_tracing(self):
+        """Tracing on vs off must not perturb a single bit of the
+        simulator output — instrumentation only observes."""
+        layout = make_design_a(rows=8, cols=8, seed=7)
+        simulator = CmpSimulator()
+
+        baseline = simulator.simulate_layout(layout)
+        with capture(tracer=Tracer()) as tracer:
+            traced = simulator.simulate_layout(layout)
+        again = simulator.simulate_layout(layout)
+
+        for attr in ("height", "dishing", "erosion", "pressure",
+                     "step_height"):
+            a = getattr(baseline, attr)
+            b = getattr(traced, attr)
+            c = getattr(again, attr)
+            assert a.tobytes() == b.tobytes()
+            assert a.tobytes() == c.tobytes()
+        # And the traced run actually recorded the cmp spans.
+        names = {r["name"] for r in tracer.records("span")}
+        assert "cmp.simulate" in names
+        assert "cmp.polish" in names
+
+    def test_fill_bitwise_identical_with_tracing(self, tmp_path):
+        """End-to-end acceptance: the fill vector produced with tracing
+        enabled is bitwise identical to the plain run."""
+        layout_path = tmp_path / "layout.json"
+        assert main(["gen-design", "A", "--rows", "8", "--cols", "8",
+                     "--seed", "3", "-o", str(layout_path)]) == 0
+        plain_out = tmp_path / "plain.npz"
+        traced_out = tmp_path / "traced.npz"
+        argv = [str(layout_path), "--method", "lin"]
+        assert main(["fill", *argv, "--fill-out", str(plain_out)]) == 0
+        assert main(["trace", "-o", str(tmp_path / "t.jsonl"),
+                     "fill", *argv, "--fill-out", str(traced_out)]) == 0
+        plain = np.load(plain_out)["fill"]
+        traced = np.load(traced_out)["fill"]
+        assert plain.tobytes() == traced.tobytes()
+
+
+class TestTraceCli:
+    def test_trace_fill_covers_all_subsystems(self, tmp_path, capsys):
+        """`repro trace fill --method neurfill-pkb` emits a schema-valid
+        trace with spans/events from nn, cmp, opt and train."""
+        layout_path = tmp_path / "layout.json"
+        assert main(["gen-design", "A", "--rows", "8", "--cols", "8",
+                     "--seed", "3", "-o", str(layout_path)]) == 0
+        trace_path = tmp_path / "trace.jsonl"
+        rc = main(["trace", "-o", str(trace_path),
+                   "fill", str(layout_path), "--method", "neurfill-pkb",
+                   "--train-samples", "6", "--train-epochs", "2"])
+        assert rc == 0
+        records = validate_trace_path(trace_path)
+        cats = {r["cat"] for r in records[1:]}
+        assert {"nn", "cmp", "opt", "train"} <= cats
+        names = {r["name"] for r in records[1:]}
+        assert "train.fit" in names
+        assert "cmp.polish.preston" in names
+        assert "opt.sqp" in names
+        assert any(name.startswith("nn.") for name in names)
+        err = capsys.readouterr().err
+        assert "repro trace summary" in err
+        assert str(trace_path) in err
+        # Tracer must be deactivated after the command returns.
+        assert trace.active() is None
+
+    def test_trace_requires_subcommand(self):
+        assert main(["trace"]) == 2
+        assert main(["trace", "trace", "simulate", "x.json"]) == 2
+
+    def test_profile_flag(self, tmp_path, capsys):
+        layout_path = tmp_path / "layout.json"
+        assert main(["gen-design", "A", "--rows", "8", "--cols", "8",
+                     "-o", str(layout_path)]) == 0
+        assert main(["--profile", "simulate", str(layout_path)]) == 0
+        captured = capsys.readouterr()
+        assert "repro trace summary" in captured.err
+        assert "cmp.simulate" in captured.err
+        assert "post-CMP dH" in captured.out  # stdout untouched
+
+
+class TestTimingAudit:
+    """Wall-clock ``time.time()`` is banned from timing paths: it jumps
+    with NTP/DST and breaks duration math.  Benchmarks must use
+    ``time.perf_counter``; the serve queue uses ``time.monotonic``."""
+
+    def test_no_wall_clock_timing_anywhere(self):
+        offenders = []
+        for sub in ("src", "benchmarks"):
+            for path in sorted((REPO_ROOT / sub).rglob("*.py")):
+                text = path.read_text(encoding="utf-8")
+                if re.search(r"\btime\.time\(\)", text):
+                    offenders.append(str(path.relative_to(REPO_ROOT)))
+        assert offenders == [], (
+            f"wall-clock time.time() used for timing in: {offenders}; "
+            f"use time.perf_counter() (durations) or time.monotonic() "
+            f"(deadlines) instead"
+        )

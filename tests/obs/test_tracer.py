@@ -1,0 +1,191 @@
+"""Tracer semantics: nesting, ordering, threading, export, bounds."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import trace
+from repro.obs.trace import (
+    NOOP_SPAN,
+    TRACE_SCHEMA,
+    Tracer,
+    capture,
+    validate_trace_lines,
+    validate_trace_path,
+)
+
+
+def spans_by_name(tracer):
+    return {r["name"]: r for r in tracer.records("span")}
+
+
+class TestNesting:
+    def test_parent_child_ids(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        by_name = spans_by_name(tracer)
+        assert by_name["outer"]["parent"] is None
+        assert by_name["inner"]["parent"] == by_name["outer"]["id"]
+
+    def test_children_recorded_before_parent(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        names = [r["name"] for r in tracer.records("span")]
+        assert names == ["inner", "outer"]
+
+    def test_siblings_share_parent(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        by_name = spans_by_name(tracer)
+        assert by_name["a"]["parent"] == by_name["outer"]["id"]
+        assert by_name["b"]["parent"] == by_name["outer"]["id"]
+
+    def test_event_parented_to_enclosing_span(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            tracer.event("marker", cat="test", value=3)
+        (event,) = tracer.records("event")
+        assert event["parent"] == spans_by_name(tracer)["outer"]["id"]
+        assert event["attrs"] == {"value": 3}
+        assert "dur_us" not in event
+
+    def test_attrs_and_set(self):
+        tracer = Tracer()
+        with tracer.span("s", cat="test", a=1) as span:
+            span.set(b=2)
+        record = spans_by_name(tracer)["s"]
+        assert record["attrs"] == {"a": 1, "b": 2}
+        assert record["cat"] == "test"
+        assert record["dur_us"] >= 0
+
+
+class TestThreadSafety:
+    def test_concurrent_recorders(self):
+        """Many threads record nested spans at once; nothing is lost,
+        ids stay unique, and nesting never crosses threads."""
+        tracer = Tracer()
+        per_thread, n_threads = 50, 8
+        barrier = threading.Barrier(n_threads)
+
+        def work(tid):
+            barrier.wait()
+            for i in range(per_thread):
+                with tracer.span(f"outer-{tid}"):
+                    with tracer.span(f"inner-{tid}"):
+                        tracer.event(f"ev-{tid}", i=i)
+
+        threads = [threading.Thread(target=work, args=(t,))
+                   for t in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        spans = tracer.records("span")
+        events = tracer.records("event")
+        assert len(spans) == n_threads * per_thread * 2
+        assert len(events) == n_threads * per_thread
+        all_ids = [r["id"] for r in spans + events]
+        assert len(set(all_ids)) == len(all_ids)
+        span_thread = {r["id"]: r["thread"] for r in spans}
+        for record in spans + events:
+            if record["parent"] is not None:
+                assert span_thread[record["parent"]] == record["thread"]
+
+    def test_bounded_records_and_dropped(self):
+        tracer = Tracer(max_records=5)
+        for i in range(9):
+            tracer.event(f"e{i}")
+        assert len(tracer.records()) == 5
+        assert tracer.dropped == 4
+        assert tracer.meta()["dropped"] == 4
+
+
+class TestExport:
+    def test_jsonl_round_trip(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("outer", cat="test", k=1):
+            tracer.event("ev", cat="test")
+        path = tmp_path / "trace.jsonl"
+        tracer.write_jsonl(path)
+        records = validate_trace_path(path)
+        meta = records[0]
+        assert meta["schema"] == TRACE_SCHEMA
+        assert meta["clock"] == "perf_counter"
+        assert meta["spans"] == 1 and meta["events"] == 1
+        names = {r["name"] for r in records[1:]}
+        assert names == {"outer", "ev"}
+
+    def test_numpy_attrs_serialise(self, tmp_path):
+        np = pytest.importorskip("numpy")
+        tracer = Tracer()
+        with tracer.span("s", cat="test", f=np.float64(0.5),
+                         i=np.int64(3), b=np.bool_(True),
+                         a=np.arange(2)):
+            pass
+        lines = list(tracer.iter_jsonl())
+        attrs = json.loads(lines[1])["attrs"]
+        assert attrs == {"f": 0.5, "i": 3, "b": True, "a": [0, 1]}
+
+    def test_validate_rejects_missing_meta(self):
+        with pytest.raises(ValueError, match="meta"):
+            validate_trace_lines(['{"type": "span"}'])
+
+    def test_validate_rejects_orphan_parent(self):
+        lines = [
+            json.dumps({"type": "meta", "schema": TRACE_SCHEMA,
+                        "clock": "perf_counter", "version": "0",
+                        "spans": 0, "events": 1, "dropped": 0}),
+            json.dumps({"type": "event", "name": "e", "cat": "c", "id": 2,
+                        "parent": 99, "thread": 1, "t0_us": 0}),
+        ]
+        with pytest.raises(ValueError, match="parent 99"):
+            validate_trace_lines(lines)
+
+
+class TestActivation:
+    def test_disabled_module_helpers_are_noops(self):
+        assert trace.active() is None
+        assert trace.span("x") is NOOP_SPAN
+        assert trace.event("x") is None  # returns without recording
+        assert trace.stages("x") is trace.NOOP_STAGES
+
+    def test_capture_restores_previous_tracer(self, tmp_path):
+        outer = trace.activate()
+        try:
+            inner = Tracer()
+            with capture(path=tmp_path / "t.jsonl", tracer=inner):
+                assert trace.active() is inner
+                with trace.span("inside", cat="test"):
+                    pass
+            assert trace.active() is outer
+            assert [r["name"] for r in inner.records()] == ["inside"]
+            validate_trace_path(tmp_path / "t.jsonl")
+        finally:
+            trace.deactivate()
+        assert trace.active() is None
+
+    def test_stage_timer_accumulates(self):
+        tracer = Tracer()
+        with capture(tracer=tracer):
+            with trace.stages("loop", cat="test") as obs:
+                for _ in range(10):
+                    with obs.measure("a"):
+                        pass
+                    with obs.measure("b"):
+                        pass
+                obs.set(extra=1)
+        by_name = spans_by_name(tracer)
+        assert set(by_name) == {"loop", "loop.a", "loop.b"}
+        assert by_name["loop.a"]["attrs"]["calls"] == 10
+        assert by_name["loop.a"]["parent"] == by_name["loop"]["id"]
+        assert by_name["loop"]["attrs"] == {"extra": 1}

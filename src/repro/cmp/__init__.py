@@ -5,6 +5,7 @@ from .numgrad import (
     central_difference_gradient,
     count_simulator_calls,
     forward_difference_gradient,
+    forward_difference_gradient_batched,
 )
 from .pad import conformed_reference, solve_pressure
 from .preston import preston_rate, removed_amount
@@ -22,6 +23,7 @@ __all__ = [
     "count_simulator_calls",
     "effective_density",
     "forward_difference_gradient",
+    "forward_difference_gradient_batched",
     "preston_rate",
     "removal_rates",
     "removed_amount",

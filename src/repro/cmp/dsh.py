@@ -44,6 +44,12 @@ def removal_rates(
 ) -> tuple[np.ndarray, np.ndarray]:
     """Up/down removal rates (Angstrom/s) for every window.
 
+    Every operation here is elementwise, so the inputs may carry any
+    number of leading axes — ``(N, M)`` maps, ``(L, N, M)`` layer stacks
+    or ``(B, L, N, M)`` batches of layouts — and nothing ever couples
+    neighbouring windows, layers or batch entries (the leading-axes
+    kernel contract).  The inputs' floating dtype is preserved.
+
     Args:
         density: effective up-area fraction, clipped into
             ``[min_effective_density, 1]`` by the caller or here.

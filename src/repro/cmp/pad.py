@@ -45,7 +45,8 @@ _TRUNCATE: float = 4.0
 
 _MAX_CACHED_SMOOTHERS: int = 16
 
-_smoothers: dict[tuple[int, float], tuple[str, np.ndarray, int]] = {}
+_smoothers: dict[tuple[int, float, np.dtype],
+                 tuple[str, np.ndarray, int]] = {}
 
 
 def _gaussian_kernel1d(sigma: float) -> np.ndarray:
@@ -56,9 +57,15 @@ def _gaussian_kernel1d(sigma: float) -> np.ndarray:
     return kernel / kernel.sum()
 
 
-def _axis_smoother(n: int, sigma: float) -> tuple[str, np.ndarray, int]:
-    """Cached per-axis smoother: ``("dense", S, r)`` or ``("window", k, r)``."""
-    key = (n, float(sigma))
+def _axis_smoother(n: int, sigma: float,
+                   dtype: np.dtype) -> tuple[str, np.ndarray, int]:
+    """Cached per-axis smoother: ``("dense", S, r)`` or ``("window", k, r)``.
+
+    The taps are derived in float64 and stored per compute dtype, so a
+    float32 polish (the opt-in reduced-precision mode) contracts against
+    float32 taps instead of silently upcasting every map to float64.
+    """
+    key = (n, float(sigma), dtype)
     hit = _smoothers.get(key)
     if hit is not None:
         return hit
@@ -74,9 +81,9 @@ def _axis_smoother(n: int, sigma: float) -> tuple[str, np.ndarray, int]:
             (np.repeat(np.arange(n), kernel.size), cols.ravel()),
             np.tile(kernel, n),
         )
-        entry = ("dense", matrix, radius)
+        entry = ("dense", matrix.astype(dtype, copy=False), radius)
     else:
-        entry = ("window", kernel, radius)
+        entry = ("window", kernel.astype(dtype, copy=False), radius)
     while len(_smoothers) >= _MAX_CACHED_SMOOTHERS:
         _smoothers.pop(next(iter(_smoothers)))
     _smoothers[key] = entry
@@ -86,7 +93,7 @@ def _axis_smoother(n: int, sigma: float) -> tuple[str, np.ndarray, int]:
 def _smooth_axis(values: np.ndarray, axis: int, sigma: float) -> np.ndarray:
     """Gaussian-smooth one of the two trailing axes (nearest-edge mode)."""
     n = values.shape[axis]
-    kind, data, radius = _axis_smoother(n, sigma)
+    kind, data, radius = _axis_smoother(n, sigma, values.dtype)
     if kind == "dense":
         if axis == values.ndim - 1:
             return values @ data.T
@@ -113,11 +120,20 @@ def conformed_reference(envelope: np.ndarray, window_um: float,
     Gaussian of that width (edge-replicated).  Topography shorter than
     this shows up as ``envelope - reference`` and draws extra pressure.
 
-    Accepts a single ``(N, M)`` map or a stacked ``(L, N, M)`` array
-    (layers polish independently; the smoothing never crosses layers).
+    Accepts a single ``(N, M)`` map or an array with any number of
+    leading axes — ``(L, N, M)`` layer stacks, ``(B, L, N, M)`` batches
+    of layouts, and so on.  Only the two trailing window axes are ever
+    smoothed: each leading-axis slice is an independent map, so the
+    smoothing never crosses layers or batch entries (the leading-axes
+    kernel contract, see DESIGN.md "Batched CMP simulator").
+
+    The input's floating dtype is preserved (float32 stays float32);
+    non-float inputs are promoted to float64.
     """
     sigma = max(params.planarization_length_um / window_um, 1e-6)
-    envelope = np.asarray(envelope, dtype=float)
+    envelope = np.asarray(envelope)
+    if not np.issubdtype(envelope.dtype, np.floating):
+        envelope = envelope.astype(np.float64)
     smoothed = _smooth_axis(envelope, envelope.ndim - 1, sigma)
     return _smooth_axis(smoothed, envelope.ndim - 2, sigma)
 
@@ -128,41 +144,70 @@ def solve_pressure(
     params: ProcessParams,
     max_iter: int = 25,
     tol: float = 1e-10,
+    batch_ndim: int = 0,
 ) -> np.ndarray:
     """Per-window pressure (psi) for a given envelope height map (Angstrom).
 
     Args:
-        envelope: ``(N, M)`` envelope heights, or ``(L, N, M)`` for all
-            layers at once (each layer balances its own load).
+        envelope: ``(N, M)`` envelope heights, or an array with any
+            number of leading axes — ``(L, N, M)`` for all layers of one
+            layout, ``(B, L, N, M)`` for a batch of layouts.  Each layer
+            balances its own load; smoothing never crosses leading axes.
         window_um: window side length (sets the smoothing width in cells).
         params: process parameters (nominal pressure, stiffness, length).
         max_iter: fixed-point iterations for the lift-off redistribution.
         tol: convergence tolerance on the mean-pressure balance.
+        batch_ndim: number of leading axes that index *independent
+            simulations*.  The lift-off fixed point iterates until every
+            layer of one simulation balances, exactly as a solo call on
+            that simulation would; with ``batch_ndim > 0`` each leading
+            entry converges (and freezes) on its own schedule, which is
+            what makes a batched call bitwise identical to a Python loop
+            of per-simulation calls.  ``0`` (the default) treats the
+            whole input as one simulation — the historical behaviour.
 
     Returns:
         Non-negative pressures of the input shape whose per-layer mean
         equals ``params.pressure_psi`` (load balance) up to ``tol``.
     """
-    if envelope.ndim not in (2, 3):
-        raise ValueError(f"envelope must be 2-D or 3-D, got shape {envelope.shape}")
+    if envelope.ndim < 2:
+        raise ValueError(
+            f"envelope must have at least 2 dims, got shape {envelope.shape}")
+    if not 0 <= batch_ndim <= envelope.ndim - 2:
+        raise ValueError(
+            f"batch_ndim must be in [0, {envelope.ndim - 2}] for shape "
+            f"{envelope.shape}, got {batch_ndim}")
     if max_iter < 1:
         raise ValueError(f"max_iter must be >= 1, got {max_iter}")
     reference = conformed_reference(envelope, window_um, params)
     base = 1.0 + params.pad_stiffness * (envelope - reference)
     p0 = params.pressure_psi
     layer_axes = (-2, -1)
+    # Axes spanning one simulation; reductions over them with keepdims
+    # leave per-simulation masks that broadcast against the full stack.
+    sim_axes = tuple(range(batch_ndim, base.ndim))
+    lifted = np.any(base <= 0.0, axis=sim_axes, keepdims=True)
 
-    # Fast path: no lift-off anywhere (the common case for the gentle
-    # topographies of teacher simulations).  The fixed point is then
+    # Fast path: no lift-off in a simulation (the common case for the
+    # gentle topographies of teacher runs).  The fixed point is then
     # linear and one exact rescale balances the load — no iteration.
-    if np.all(base > 0.0):
+    fast = None
+    if not np.all(lifted):
         pressure = base * p0
         mean = pressure.mean(axis=layer_axes, keepdims=True)
-        if float(np.max(np.abs(mean - p0))) <= tol * p0:
-            return pressure
-        return pressure * (p0 / mean)
+        balanced = np.max(np.abs(mean - p0), axis=sim_axes,
+                          keepdims=True) <= tol * p0
+        fast = np.where(balanced, pressure, pressure * (p0 / mean))
+        if not np.any(lifted):
+            return fast
 
-    scale = np.array(1.0) if envelope.ndim == 2 else np.ones((envelope.shape[0], 1, 1))
+    # Lift-off somewhere: fixed-point redistribution.  Simulations that
+    # reach balance freeze (their pressure and scale stop updating) while
+    # the rest keep iterating — mirroring the early ``break`` a solo call
+    # takes, so every batch entry sees the solo operation sequence.
+    scale = np.ones(base.shape[:-2] + (1, 1), dtype=base.dtype)
+    done = ~lifted
+    slow = None
     for _ in range(max_iter):
         pressure = np.maximum(base * scale, 0.0) * p0
         mean = pressure.mean(axis=layer_axes, keepdims=True)
@@ -171,7 +216,13 @@ def solve_pressure(
             # Everything clipped on some layer: uniform-load fallback.
             pressure = np.where(degenerate, p0, pressure)
             mean = np.where(degenerate, p0, mean)
-        if float(np.max(np.abs(mean - p0))) <= tol * p0:
+        slow = pressure if slow is None else np.where(done, slow, pressure)
+        newly_done = done | (np.max(np.abs(mean - p0), axis=sim_axes,
+                                    keepdims=True) <= tol * p0)
+        if np.all(newly_done):
             break
-        scale = scale * (p0 / mean)
-    return pressure
+        scale = np.where(newly_done, scale, scale * (p0 / mean))
+        done = newly_done
+    if fast is None:
+        return slow
+    return np.where(lifted, slow, fast)

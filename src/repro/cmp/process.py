@@ -56,6 +56,9 @@ class ProcessParams:
             second of over-polish).
         min_effective_density: clamp to keep the DSH load division finite
             in empty windows.
+        max_effective_density: upper clamp on the post-deposition up-area
+            fraction; conformal deposition can merge features but never
+            produces a fully blanket (100% up) window.
         stack_topography: when True, each layer's deposition conforms to
             the residual topography the previous layer left behind
             (multilevel metallisation coupling); layers then polish
@@ -79,6 +82,7 @@ class ProcessParams:
     dishing_coefficient: float = 2.0
     erosion_coefficient: float = 0.5
     min_effective_density: float = 0.02
+    max_effective_density: float = 0.98
     stack_topography: bool = False
     stacking_attenuation: float = 0.5
 
@@ -91,6 +95,10 @@ class ProcessParams:
             raise ValueError("time step larger than total polish time")
         if not (0 < self.min_effective_density < 1):
             raise ValueError("min_effective_density must be in (0, 1)")
+        if not (self.min_effective_density < self.max_effective_density <= 1):
+            raise ValueError(
+                "max_effective_density must lie in "
+                "(min_effective_density, 1]")
         if self.contact_height_a <= 0:
             raise ValueError("contact height must be positive")
 

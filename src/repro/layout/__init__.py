@@ -27,6 +27,7 @@ from .layout import (
     Layout,
     apply_fill,
     dummy_count,
+    stack_features,
 )
 
 __all__ = [
@@ -55,6 +56,7 @@ __all__ = [
     "make_two_fillable_window_layout",
     "random_legal_fill",
     "save_layout",
+    "stack_features",
     "tile_to_size",
     "union_area",
     "window_pool",

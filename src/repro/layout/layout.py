@@ -16,6 +16,7 @@ mirrors these formulas with autodiff tensors; tests assert the two agree.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
@@ -130,7 +131,11 @@ class Layout:
 class FeatureStack:
     """Pattern features after dummy fill, as consumed by the CMP simulator.
 
-    Every array has shape ``(L, N, M)``.
+    Every array has shape ``(L, N, M)`` for a single layout.  The CMP
+    kernels operate over arbitrary leading axes, so a *batched* feature
+    stack simply carries ``(B, L, N, M)`` arrays (build one with
+    :func:`stack_features`) and flows through
+    :meth:`repro.cmp.simulator.CmpSimulator.simulate_batch` unchanged.
     """
 
     density: np.ndarray
@@ -139,8 +144,36 @@ class FeatureStack:
     trench_depth: np.ndarray  # broadcast per layer to (L, N, M)
 
     @property
-    def shape(self) -> tuple[int, int, int]:
+    def shape(self) -> tuple[int, ...]:
         return self.density.shape
+
+
+def stack_features(stacks: "Sequence[FeatureStack]") -> FeatureStack:
+    """Stack same-shape feature stacks along a new leading batch axis.
+
+    The result's arrays have shape ``(B, *entry_shape)``; feed it to
+    :meth:`repro.cmp.simulator.CmpSimulator.simulate_batch`.
+
+    Raises:
+        ValueError: if the sequence is empty or shapes disagree (layouts
+            of different grids/layer counts cannot share one batch).
+    """
+    stacks = list(stacks)
+    if not stacks:
+        raise ValueError("stack_features needs at least one FeatureStack")
+    shape = stacks[0].shape
+    for k, entry in enumerate(stacks[1:], start=1):
+        if entry.shape != shape:
+            raise ValueError(
+                f"feature stack {k} has shape {entry.shape}, expected "
+                f"{shape}; batch entries must share one grid and layer "
+                "count")
+    return FeatureStack(
+        density=np.stack([s.density for s in stacks]),
+        perimeter=np.stack([s.perimeter for s in stacks]),
+        wire_width=np.stack([s.wire_width for s in stacks]),
+        trench_depth=np.stack([s.trench_depth for s in stacks]),
+    )
 
 
 def dummy_count(fill_area: np.ndarray, dummy_side: float = DUMMY_SIDE_UM) -> np.ndarray:

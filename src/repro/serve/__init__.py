@@ -9,7 +9,7 @@ survives crashes via an accept/done journal.  See DESIGN.md "Serving"
 for the micro-batching policy and its numerical-fidelity contract.
 """
 
-from .batcher import CoalescedNetwork, MicroBatcher
+from .batcher import CoalescedNetwork, MicroBatcher, SimulateBatcher
 from .client import ServeClient, ServeError
 from .jobqueue import BoundedJobQueue, Job, JobState
 from .journal import JobJournal
@@ -46,6 +46,7 @@ __all__ = [
     "ServeConfig",
     "ServeError",
     "ServeStats",
+    "SimulateBatcher",
     "decode",
     "encode",
     "layout_fingerprint",

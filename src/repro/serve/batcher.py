@@ -15,6 +15,12 @@ through :meth:`CmpNeuralNetwork.evaluate_batch
 stacked-pass primitive batched MSP-SQP is built on — and scatters the
 per-request results.
 
+:class:`SimulateBatcher` applies the same idea to raw ``simulate`` jobs:
+concurrent requests sharing one process calibration and grid coalesce
+into a single :meth:`CmpSimulator.simulate_batch
+<repro.cmp.simulator.CmpSimulator.simulate_batch>` polish, which is
+bitwise identical to running them one by one.
+
 Fidelity contract (see DESIGN.md "Serving"): a coalesced group of K
 requests returns **bitwise** what ``evaluate_batch`` returns for those K
 fills stacked — coalescing adds no arithmetic of its own.  A singleton
@@ -35,6 +41,8 @@ import time
 
 import numpy as np
 
+from ..cmp.simulator import CmpResult, CmpSimulator
+from ..layout.layout import FeatureStack, stack_features
 from ..obs import trace as obs_trace
 from ..surrogate.network import CmpNeuralNetwork, PlanarityEvaluation
 from ..surrogate.objectives import PlanarityWeights
@@ -198,6 +206,172 @@ class MicroBatcher:
         finally:
             if self.stats is not None:
                 self.stats.record_batch(len(group))
+            for p in group:
+                p.event.set()
+
+
+class _PendingSim:
+    """One parked simulation awaiting a flush."""
+
+    __slots__ = ("features", "simulator", "enqueued_at", "event", "result",
+                 "error")
+
+    def __init__(self, features: FeatureStack, simulator: CmpSimulator):
+        self.features = features
+        self.simulator = simulator
+        self.enqueued_at = time.monotonic()
+        self.event = threading.Event()
+        self.result: CmpResult | None = None
+        self.error: BaseException | None = None
+
+
+class SimulateBatcher:
+    """Coalesces concurrent ``simulate`` jobs into batched polishes.
+
+    The simulate-side twin of :class:`MicroBatcher`: worker threads call
+    :meth:`simulate`; the call parks until ``max_batch`` requests have
+    gathered or the oldest has waited ``max_delay_s``, then the flusher
+    runs the group through :meth:`CmpSimulator.simulate_batch
+    <repro.cmp.simulator.CmpSimulator.simulate_batch>` and scatters the
+    per-layout results.
+
+    Requests coalesce only when they share the process calibration,
+    window size, compute dtype and feature-stack shape — different
+    layouts on one grid stack fine; different physics never mix.  The
+    fidelity contract is *stronger* than the network batcher's: the
+    batched simulator is **bitwise identical** to looping ``simulate``,
+    so coalescing can never change a job's reported numbers.
+
+    Args:
+        max_batch: flush as soon as this many requests are parked;
+            ``1`` disables coalescing (calls pass straight through).
+        max_delay_s: flush the oldest request after waiting this long
+            even if the batch is not full — bounds added latency.
+        stats: optional sink for the simulate-batch-size histogram.
+    """
+
+    def __init__(self, max_batch: int = 16, max_delay_s: float = 0.004,
+                 stats: ServeStats | None = None):
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_delay_s < 0:
+            raise ValueError(f"max_delay_s must be >= 0, got {max_delay_s}")
+        self.max_batch = max_batch
+        self.max_delay_s = max_delay_s
+        self.stats = stats
+        self._pending: dict[tuple, list[_PendingSim]] = {}
+        self._cond = threading.Condition()
+        self._closed = False
+        self._thread: threading.Thread | None = None
+        if max_batch > 1:
+            self._thread = threading.Thread(
+                target=self._flush_loop, name="repro-serve-sim-batcher",
+                daemon=True,
+            )
+            self._thread.start()
+
+    # ------------------------------------------------------------------
+    def simulate(self, features: FeatureStack,
+                 simulator: CmpSimulator) -> CmpResult:
+        """Drop-in for ``simulator.simulate``, transparently coalesced."""
+        if self.max_batch <= 1:
+            return simulator.simulate(features)
+        pending = _PendingSim(features, simulator)
+        # ProcessParams is a frozen dataclass, so the physics coalesces
+        # by value: two jobs with the same polish-time override share a
+        # group even though each built its own simulator instance.
+        key = (simulator.params, simulator.window_um, simulator.dtype,
+               features.shape)
+        with self._cond:
+            if self._closed:  # flusher may already have drained and exited
+                parked = False
+            else:
+                self._pending.setdefault(key, []).append(pending)
+                parked = True
+                self._cond.notify_all()
+        if not parked:
+            return simulator.simulate(features)
+        pending.event.wait()
+        if pending.error is not None:
+            raise pending.error
+        assert pending.result is not None
+        return pending.result
+
+    def close(self) -> None:
+        """Stop the flusher after draining every parked request."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+
+    # ------------------------------------------------------------------
+    def _take_group(self) -> tuple[tuple, list[_PendingSim]] | None:
+        """Pop the most urgent flushable group (condition held)."""
+        now = time.monotonic()
+        best_key, best_age = None, -1.0
+        for key, group in self._pending.items():
+            age = now - group[0].enqueued_at
+            if len(group) >= self.max_batch or self._closed \
+                    or age >= self.max_delay_s:
+                if age > best_age:
+                    best_key, best_age = key, age
+        if best_key is None:
+            return None
+        group = self._pending[best_key]
+        take, rest = group[:self.max_batch], group[self.max_batch:]
+        if rest:
+            self._pending[best_key] = rest
+        else:
+            del self._pending[best_key]
+        return best_key, take
+
+    def _next_deadline(self) -> float | None:
+        """Monotonic time of the earliest pending flush (cond held)."""
+        oldest = None
+        for group in self._pending.values():
+            t = group[0].enqueued_at
+            if oldest is None or t < oldest:
+                oldest = t
+        return None if oldest is None else oldest + self.max_delay_s
+
+    def _flush_loop(self) -> None:
+        while True:
+            with self._cond:
+                while True:
+                    taken = self._take_group()
+                    if taken is not None:
+                        break
+                    if self._closed and not self._pending:
+                        return
+                    deadline = self._next_deadline()
+                    timeout = (None if deadline is None
+                               else max(0.0, deadline - time.monotonic()))
+                    self._cond.wait(timeout)
+            _, group = taken
+            self._run_group(group)
+
+    def _run_group(self, group: list[_PendingSim]) -> None:
+        # Every member shares the group key, so any member's simulator
+        # carries the group's physics.
+        simulator = group[0].simulator
+        try:
+            with obs_trace.span("serve.sim_flush", cat="serve",
+                                size=len(group)):
+                if len(group) == 1:
+                    group[0].result = simulator.simulate(group[0].features)
+                else:
+                    batch = simulator.simulate_batch(
+                        stack_features([p.features for p in group]))
+                    for k, p in enumerate(group):
+                        p.result = batch.entry(k)
+        except BaseException as exc:  # propagate into every waiter
+            for p in group:
+                p.error = exc
+        finally:
+            if self.stats is not None:
+                self.stats.record_sim_batch(len(group))
             for p in group:
                 p.event.set()
 

@@ -40,10 +40,10 @@ from ..cmp.simulator import CmpSimulator
 from ..core import FillProblem, NeurFill, ScoreCoefficients, evaluate_solution
 from ..core.scoring import planarity_metrics
 from ..layout.io import layout_from_dict, load_layout
-from ..layout.layout import Layout
+from ..layout.layout import Layout, apply_fill
 from ..optimize.sqp import SqpOptimizer
 from ..surrogate import TrainConfig, pretrain_surrogate
-from .batcher import CoalescedNetwork, MicroBatcher
+from .batcher import CoalescedNetwork, MicroBatcher, SimulateBatcher
 from .jobqueue import BoundedJobQueue, Job, JobState
 from .journal import JobJournal
 from .protocol import (
@@ -115,6 +115,10 @@ class FillServer:
         self._coeff_cache: dict[str, ScoreCoefficients] = {}
         self._batchers: dict[tuple[str, str],
                              tuple[CoalescedNetwork, MicroBatcher]] = {}
+        self._sim_batcher = SimulateBatcher(
+            max_batch=self.config.max_batch,
+            max_delay_s=self.config.flush_ms / 1e3, stats=self.stats,
+        )
         self._lock = threading.Lock()
         self._drain_cond = threading.Condition()
         self._inflight = 0
@@ -187,6 +191,7 @@ class FillServer:
             self._batchers.clear()
         for _, batcher in batchers:
             batcher.close()
+        self._sim_batcher.close()
         if self._journal is not None:
             self._journal.close()
         self._shutdown_event.set()
@@ -510,7 +515,10 @@ class FillServer:
             from ..cmp import ProcessParams
             simulator = CmpSimulator(
                 ProcessParams(polish_time_s=float(polish_time)))
-        result = simulator.simulate_layout(layout)
+        # Route through the simulate coalescer: concurrent simulate jobs
+        # sharing this physics and grid polish as one batched pass,
+        # bitwise identical to simulate_layout.
+        result = self._sim_batcher.simulate(apply_fill(layout), simulator)
         delta_h, sigma, line, outliers = planarity_metrics(result.height)
         return {
             "layout": layout.name,

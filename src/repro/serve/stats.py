@@ -32,6 +32,9 @@ __all__ = ["ServeStats", "LatencyTracker", "Histogram", "MetricsRegistry"]
 #: Histogram name of coalesced micro-batch sizes inside the registry.
 BATCH_HISTOGRAM = "batch_size"
 
+#: Histogram name of coalesced simulate-job batch sizes.
+SIM_BATCH_HISTOGRAM = "sim_batch_size"
+
 
 class ServeStats:
     """Thread-safe event sink shared by queue, batcher and workers."""
@@ -58,6 +61,10 @@ class ServeStats:
         """One micro-batch of ``size`` coalesced evaluations was flushed."""
         self._registry.observe(BATCH_HISTOGRAM, int(size))
 
+    def record_sim_batch(self, size: int) -> None:
+        """One batch of ``size`` coalesced simulate jobs was polished."""
+        self._registry.observe(SIM_BATCH_HISTOGRAM, int(size))
+
     def record_latency(self, stage: str, seconds: float) -> None:
         if stage not in self.STAGES:
             raise KeyError(f"unknown latency stage {stage!r}; "
@@ -69,6 +76,8 @@ class ServeStats:
         snapshot = {
             "counters": shared["counters"],
             "batch_histogram": shared["histograms"].get(BATCH_HISTOGRAM, {}),
+            "sim_batch_histogram":
+                shared["histograms"].get(SIM_BATCH_HISTOGRAM, {}),
             "latency": {stage: shared["latency"][stage]
                         for stage in self.STAGES
                         if stage in shared["latency"]},

@@ -1,6 +1,6 @@
 """CMP neural network surrogate: extraction, UNet, objectives, training."""
 
-from .datagen import SurrogateDataset, build_dataset, simulate_sample
+from .datagen import SurrogateDataset, build_dataset, simulate_group, simulate_sample
 from .extraction import (
     NUM_FEATURE_CHANNELS,
     ExtractionConstants,
@@ -72,6 +72,7 @@ __all__ = [
     "pretrain_surrogate",
     "save_surrogate",
     "score_function",
+    "simulate_group",
     "simulate_sample",
     "train_unet",
 ]

@@ -82,6 +82,31 @@ class TestSimulatorQuality:
         q = model.quality(0.5 * tiny_problem.upper)
         assert 0.0 <= q <= tiny_problem.coefficients.quality_alpha_total + 1e-9
 
+    def test_quality_batch_bitwise_matches_loop(self, tiny_problem, simulator):
+        model = SimulatorQuality(tiny_problem, simulator)
+        fills = np.stack([np.zeros(tiny_problem.layout.shape),
+                          0.3 * tiny_problem.upper,
+                          0.9 * tiny_problem.upper])
+        batched = model.quality_batch(fills)
+        assert model.simulations == len(fills)
+        looped = np.array([model.quality(f) for f in fills])
+        np.testing.assert_array_equal(batched, looped)
+
+    def test_quality_batch_shape_validated(self, tiny_problem, simulator):
+        model = SimulatorQuality(tiny_problem, simulator)
+        with pytest.raises(ValueError):
+            model.quality_batch(np.zeros(tiny_problem.layout.shape))
+
+    def test_batched_gradient_bitwise_matches_sequential(self, tiny_problem,
+                                                         simulator):
+        model = SimulatorQuality(tiny_problem, simulator)
+        fill = 0.4 * tiny_problem.upper
+        v_seq, g_seq = model.value_and_numerical_grad(fill, eps=500.0)
+        v_bat, g_bat = model.value_and_numerical_grad(fill, eps=500.0,
+                                                      sim_batch=7)
+        assert v_bat == v_seq
+        np.testing.assert_array_equal(g_bat, g_seq)
+
 
 class TestCai:
     def test_runs_and_improves(self, tiny_problem, simulator):

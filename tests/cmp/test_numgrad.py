@@ -8,6 +8,7 @@ from repro.cmp import (
     central_difference_gradient,
     count_simulator_calls,
     forward_difference_gradient,
+    forward_difference_gradient_batched,
 )
 from repro.layout import make_design_a
 
@@ -63,6 +64,76 @@ class TestOnQuadratic:
             forward_difference_gradient(self.quad, np.ones(2), eps=0.0)
         with pytest.raises(ValueError):
             central_difference_gradient(self.quad, np.ones(2), eps=-1.0)
+
+
+class TestBatchedForwardDifference:
+    """The batched pass must be bitwise equal to the sequential one
+    whenever the batched objective matches a loop of scalar calls."""
+
+    @staticmethod
+    def quad(x):
+        return float(np.sum(x**2) + 3.0 * x.ravel()[0])
+
+    @classmethod
+    def quad_batch(cls, stack):
+        return np.array([cls.quad(p) for p in stack])
+
+    @pytest.mark.parametrize("batch_size", [1, 2, 64])
+    def test_bitwise_matches_sequential(self, batch_size):
+        x = np.arange(6.0).reshape(2, 3) - 2.0
+        seq = forward_difference_gradient(self.quad, x, eps=0.5)
+        bat = forward_difference_gradient_batched(
+            self.quad_batch, x, eps=0.5, batch_size=batch_size)
+        np.testing.assert_array_equal(bat, seq)
+
+    def test_upper_bound_flips_match(self):
+        x = np.array([1.0, 2.0, 3.0])
+        upper = np.array([1.0, 5.0, 3.0])
+        seq = forward_difference_gradient(self.quad, x, eps=0.5,
+                                          upper=upper)
+        bat = forward_difference_gradient_batched(
+            self.quad_batch, x, eps=0.5, upper=upper, batch_size=2)
+        np.testing.assert_array_equal(bat, seq)
+
+    def test_indices_subset_matches(self):
+        x = np.array([1.0, 1.0, 1.0, 1.0])
+        idx = np.array([0, 2])
+        seq = forward_difference_gradient(self.quad, x, eps=1e-5,
+                                          indices=idx)
+        bat = forward_difference_gradient_batched(
+            self.quad_batch, x, eps=1e-5, indices=idx, batch_size=2)
+        np.testing.assert_array_equal(bat, seq)
+
+    def test_base_reuse_skips_one_evaluation(self):
+        calls = []
+
+        def counting_batch(stack):
+            calls.append(stack.shape[0])
+            return self.quad_batch(stack)
+
+        x = np.ones(3)
+        forward_difference_gradient_batched(counting_batch, x, eps=0.5,
+                                            batch_size=8)
+        assert sum(calls) == x.size + 1  # base as a singleton batch
+        calls.clear()
+        forward_difference_gradient_batched(counting_batch, x, eps=0.5,
+                                            batch_size=8,
+                                            base=self.quad(x))
+        assert sum(calls) == x.size  # caller-supplied base reused
+
+    def test_bad_objective_shape_rejected(self):
+        x = np.ones(3)
+        with pytest.raises(ValueError, match="shape"):
+            forward_difference_gradient_batched(
+                lambda stack: np.zeros((stack.shape[0], 2)), x, eps=0.5)
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(ValueError):
+            forward_difference_gradient_batched(
+                self.quad_batch, np.ones(2), eps=0.0)
+        with pytest.raises(ValueError):
+            forward_difference_gradient_batched(
+                self.quad_batch, np.ones(2), eps=1.0, batch_size=0)
 
 
 class TestCallCounts:

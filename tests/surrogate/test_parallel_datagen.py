@@ -43,3 +43,30 @@ class TestParallelBuildDataset:
     def test_invalid_workers_rejected(self, sources):
         with pytest.raises(ValueError):
             build_dataset(sources, count=2, rows=8, cols=8, n_workers=0)
+
+
+class TestBatchedBuildDataset:
+    """Micro-batched teacher simulation is byte-identical to unbatched —
+    the batched simulator contract, observed end to end."""
+
+    def test_byte_identical_across_sim_batch(self, sources):
+        base = build_dataset(sources, count=5, rows=8, cols=8, seed=4,
+                             sim_batch=1)
+        for sim_batch in (2, 5, 8):
+            batched = build_dataset(sources, count=5, rows=8, cols=8,
+                                    seed=4, sim_batch=sim_batch)
+            assert base.inputs.tobytes() == batched.inputs.tobytes()
+            assert base.targets.tobytes() == batched.targets.tobytes()
+            assert base.normalizer == batched.normalizer
+
+    def test_composes_with_workers(self, sources):
+        serial = build_dataset(sources, count=4, rows=8, cols=8, seed=5,
+                               sim_batch=1)
+        both = build_dataset(sources, count=4, rows=8, cols=8, seed=5,
+                             sim_batch=2, n_workers=2)
+        assert serial.inputs.tobytes() == both.inputs.tobytes()
+        assert serial.targets.tobytes() == both.targets.tobytes()
+
+    def test_invalid_sim_batch_rejected(self, sources):
+        with pytest.raises(ValueError):
+            build_dataset(sources, count=2, rows=8, cols=8, sim_batch=0)

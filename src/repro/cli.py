@@ -137,7 +137,17 @@ def _build_parser() -> argparse.ArgumentParser:
                        metavar="NAME=CKPT_DIR",
                        help="register a surrogate checkpoint (repeatable)")
     serve.add_argument("--workers", type=int, default=None,
-                       help="worker threads (default REPRO_SERVE_WORKERS)")
+                       help="workers per server/shard "
+                            "(default REPRO_SERVE_WORKERS)")
+    serve.add_argument("--worker-mode", choices=("thread", "process"),
+                       default=None,
+                       help="execute jobs on worker threads (coalescing) "
+                            "or in forked worker processes (GIL-free; "
+                            "default REPRO_SERVE_WORKER_MODE)")
+    serve.add_argument("--shards", type=int, default=None,
+                       help="shard-fleet width; >1 routes jobs to shard "
+                            "processes by layout fingerprint "
+                            "(default REPRO_SERVE_SHARDS)")
     serve.add_argument("--queue-capacity", type=int, default=None,
                        help="bounded queue size before rejection")
     serve.add_argument("--max-batch", type=int, default=None,
@@ -323,12 +333,15 @@ def _cmd_train_surrogate(args) -> int:
 
 
 def _cmd_serve(args) -> int:
-    from .serve import FillServer, ModelRegistry, ServeConfig
+    from .serve import FillServer, ModelRegistry, ServeConfig, ShardRouter
+    from .serve.registry import parse_model_spec
     from .serve.server import serve_pipe, serve_tcp
 
+    model_specs = []
     registry = ModelRegistry()
     for spec in args.model:
         try:
+            model_specs.append(parse_model_spec(spec))
             model = registry.register_spec(spec)
         except (FileNotFoundError, ValueError) as exc:
             raise CliError(str(exc))
@@ -352,13 +365,23 @@ def _cmd_serve(args) -> int:
         overrides["drain_timeout_s"] = args.drain_timeout
     if args.no_train:
         overrides["allow_train"] = False
+    if args.worker_mode is not None:
+        overrides["worker_mode"] = args.worker_mode
+    if args.shards is not None:
+        overrides["shards"] = args.shards
     try:
         serve_config = ServeConfig(**overrides)
     except ValueError as exc:
         raise CliError(str(exc))
 
-    server = FillServer(registry=registry, serve_config=serve_config,
-                        journal_path=args.journal)
+    if serve_config.shards > 1:
+        server = ShardRouter(serve_config=serve_config,
+                             journal_path=args.journal,
+                             model_specs=model_specs)
+    else:
+        server = FillServer(registry=registry, serve_config=serve_config,
+                            journal_path=args.journal,
+                            model_specs=model_specs)
     if args.tcp:
         host, sep, port = args.tcp.rpartition(":")
         if not sep or not port.isdigit():
@@ -372,7 +395,8 @@ def _cmd_serve(args) -> int:
         return serve_tcp(server, host or "127.0.0.1", int(port),
                          ready=announce)
     print("repro serve ready on stdin/stdout "
-          f"({serve_config.workers} workers, queue "
+          f"({serve_config.shards} shard(s) x {serve_config.workers} "
+          f"{serve_config.worker_mode} workers, queue "
           f"{serve_config.queue_capacity}, max batch "
           f"{serve_config.max_batch})", file=sys.stderr)
     return serve_pipe(server)

@@ -92,6 +92,16 @@ DEFAULT_SERVE_FLUSH_MS: float = 4.0
 #: Seconds a draining shutdown waits for in-flight jobs.
 DEFAULT_SERVE_DRAIN_TIMEOUT_S: float = 30.0
 
+#: Job execution engine (``REPRO_SERVE_WORKER_MODE``): ``thread`` runs
+#: jobs on the worker threads (coalescing across jobs); ``process``
+#: dispatches them to long-lived forked children, GIL-free.
+DEFAULT_SERVE_WORKER_MODE: str = "thread"
+
+#: Shard-fleet width (``REPRO_SERVE_SHARDS``); ``1`` is a single
+#: unsharded server, >1 routes by layout fingerprint across that many
+#: shard processes.
+DEFAULT_SERVE_SHARDS: int = 1
+
 
 def _env_number(name: str, default: float, kind: type,
                 minimum: float) -> float:
@@ -125,6 +135,21 @@ def serve_max_batch_default() -> int:
 def serve_flush_ms_default() -> float:
     return _env_number("REPRO_SERVE_FLUSH_MS", DEFAULT_SERVE_FLUSH_MS,
                        float, 0.0)
+
+
+def serve_worker_mode_default() -> str:
+    raw = os.environ.get("REPRO_SERVE_WORKER_MODE", "").strip().lower()
+    if not raw:
+        return DEFAULT_SERVE_WORKER_MODE
+    if raw not in ("thread", "process"):
+        raise ValueError(f"REPRO_SERVE_WORKER_MODE={raw!r}: "
+                         "expected 'thread' or 'process'")
+    return raw
+
+
+def serve_shards_default() -> int:
+    return int(_env_number("REPRO_SERVE_SHARDS", DEFAULT_SERVE_SHARDS,
+                           int, 1))
 
 
 def rng_from_seed(seed: int | np.random.Generator | None) -> np.random.Generator:

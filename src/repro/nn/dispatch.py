@@ -347,6 +347,18 @@ def plan_table() -> dict[str, dict]:
     return {key: dict(plan) for key, plan in _plans.items()}
 
 
+def warm_plan_cache() -> int:
+    """Eagerly load persisted dispatch plans; returns the plan count.
+
+    Called at the start of forked serve worker processes so children
+    reuse the plans the parent (or a previous run) already calibrated
+    instead of re-benchmarking every backend once per fork.  A no-op
+    when plans were already loaded (fork inherits the parent's table).
+    """
+    _load_persisted()
+    return len(_plans)
+
+
 def clear_caches(reload_persisted: bool = True) -> None:
     """Drop in-memory plans and cached kernel FFTs.
 

@@ -148,6 +148,7 @@ class MetricsRegistry:
         self._counters: _Counter = _Counter()
         self._histograms: dict[str, Histogram] = {}
         self._latencies: dict[str, LatencyTracker] = {}
+        self._gauges: dict[str, float] = {}
         self._dropped = 0
 
     def _room_for(self, name: str, table: dict) -> bool:
@@ -155,7 +156,7 @@ class MetricsRegistry:
         if name in table:
             return True
         total = (len(self._counters) + len(self._histograms)
-                 + len(self._latencies))
+                 + len(self._latencies) + len(self._gauges))
         if total >= self._max_metrics:
             self._dropped += 1
             return False
@@ -165,6 +166,14 @@ class MetricsRegistry:
         with self._lock:
             if self._room_for(name, self._counters):
                 self._counters[name] += n
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Record the latest value of a point-in-time quantity (queue
+        depth, per-shard outstanding jobs, ...).  Last write wins —
+        gauges report state, not events, so there is no windowing."""
+        with self._lock:
+            if self._room_for(name, self._gauges):
+                self._gauges[name] = value
 
     def observe(self, name: str, key, n: int = 1) -> None:
         """Record ``key`` into the histogram called ``name``."""
@@ -202,6 +211,8 @@ class MetricsRegistry:
                 "latency": {name: tracker.snapshot()
                             for name, tracker in self._latencies.items()},
             }
+            if self._gauges:
+                out["gauges"] = dict(self._gauges)
             if self._dropped:
                 out["dropped_metrics"] = self._dropped
             return out
@@ -211,6 +222,7 @@ class MetricsRegistry:
             self._counters.clear()
             self._histograms.clear()
             self._latencies.clear()
+            self._gauges.clear()
             self._dropped = 0
 
 

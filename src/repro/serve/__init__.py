@@ -5,14 +5,26 @@ calibration on every invocation.  This subsystem keeps surrogates
 resident (model registry), admits work through a bounded priority queue
 with backpressure, coalesces concurrent surrogate evaluations into
 dynamic micro-batches (the PR 1 ``evaluate_batch`` primitive), and
-survives crashes via an accept/done journal.  See DESIGN.md "Serving"
-for the micro-batching policy and its numerical-fidelity contract.
+survives crashes via an accept/done journal.  Execution scales past the
+GIL with ``worker_mode=process`` (a :class:`ProcessWorkerPool` of
+long-lived forked children) and past one process's caches with
+``--shards N`` (a :class:`ShardRouter` fleet routing jobs to shard
+processes by layout fingerprint).  See DESIGN.md "Serving" and
+"Process-based serving" for the micro-batching policy, its
+numerical-fidelity contract, and the crash-containment model.
 """
 
 from .batcher import CoalescedNetwork, MicroBatcher, SimulateBatcher
 from .client import ServeClient, ServeError
+from .executor import FILL_METHODS, JobExecutor, validate_job
 from .jobqueue import BoundedJobQueue, Job, JobState
 from .journal import JobJournal
+from .procpool import (
+    ProcessWorkerPool,
+    RemoteJobError,
+    WorkerDiedError,
+    WorkerSpec,
+)
 from .protocol import (
     JOB_OPS,
     OPS,
@@ -23,35 +35,52 @@ from .protocol import (
     parse_request,
     response,
 )
-from .registry import ModelRegistry, RegisteredModel, layout_fingerprint
+from .registry import (
+    ModelRegistry,
+    RegisteredModel,
+    layout_fingerprint,
+    parse_model_spec,
+)
+from .router import ShardRouter, rendezvous_shard, routing_key
 from .server import FillServer, ServeConfig, serve_pipe, serve_tcp
 from .stats import LatencyTracker, ServeStats
 
 __all__ = [
     "BoundedJobQueue",
     "CoalescedNetwork",
+    "FILL_METHODS",
     "FillServer",
     "JOB_OPS",
     "Job",
+    "JobExecutor",
     "JobJournal",
     "JobState",
     "LatencyTracker",
     "MicroBatcher",
     "ModelRegistry",
     "OPS",
+    "ProcessWorkerPool",
     "ProtocolError",
     "RegisteredModel",
+    "RemoteJobError",
     "Request",
     "ServeClient",
     "ServeConfig",
     "ServeError",
     "ServeStats",
+    "ShardRouter",
     "SimulateBatcher",
+    "WorkerDiedError",
+    "WorkerSpec",
     "decode",
     "encode",
     "layout_fingerprint",
+    "parse_model_spec",
     "parse_request",
+    "rendezvous_shard",
     "response",
+    "routing_key",
     "serve_pipe",
     "serve_tcp",
+    "validate_job",
 ]

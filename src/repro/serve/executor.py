@@ -1,0 +1,310 @@
+"""The job execution engine, shared by thread workers and forked workers.
+
+:class:`JobExecutor` owns everything one ``fill``/``simulate`` job needs
+after admission: layout loading (with an mtime-validated LRU cache),
+score-coefficient calibration (cached per layout content), surrogate
+binding through the :class:`~repro.serve.registry.ModelRegistry`, the
+micro-batchers, and the MSP-SQP fill itself.  It is deliberately free of
+queueing, journaling and transport concerns so the same code runs
+
+* inside :class:`~repro.serve.server.FillServer` worker **threads**
+  (``worker_mode=thread``), where the batchers coalesce evaluations
+  *across* concurrent jobs, and
+* inside long-lived forked worker **processes**
+  (:mod:`repro.serve.procpool`, ``worker_mode=process``), where each
+  child owns a private warm executor and cross-job coalescing is
+  disabled (``max_batch=1``) because a child runs one job at a time —
+  parallelism across jobs comes from the processes themselves.
+
+All three per-executor caches are true LRUs: hits refresh recency
+(``move_to_end``) and eviction removes the least-recently-*used* entry,
+matching :class:`ModelRegistry`'s bound-network cache.  (The PR 3
+versions of the layout and coefficient caches evicted FIFO — a hot
+layout could be evicted while cold ones survived.)
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from pathlib import Path
+
+import numpy as np
+
+from ..baselines import cai_fill, lin_fill, tao_fill
+from ..cmp.simulator import CmpSimulator
+from ..core import FillProblem, NeurFill, ScoreCoefficients, evaluate_solution
+from ..core.scoring import planarity_metrics
+from ..layout.io import layout_from_dict, load_layout
+from ..layout.layout import Layout, apply_fill
+from ..obs import trace as obs_trace
+from ..optimize.sqp import SqpOptimizer
+from ..surrogate import TrainConfig, pretrain_surrogate
+from .batcher import CoalescedNetwork, MicroBatcher, SimulateBatcher
+from .protocol import Request
+from .registry import ModelRegistry, layout_fingerprint
+from .stats import ServeStats
+
+FILL_METHODS = ("lin", "tao", "cai", "neurfill-pkb", "neurfill-mm")
+
+
+def validate_job(request: Request, allow_train: bool = True) -> str | None:
+    """Cheap admission-time validation (full errors surface at run).
+
+    Shared by the in-process server and the shard router so a bad job is
+    rejected at the front end instead of travelling to a shard first.
+    """
+    params = request.params
+    if "layout" not in params and "layout_path" not in params:
+        return "params must include 'layout' or 'layout_path'"
+    if request.op == "fill":
+        method = params.get("method", "neurfill-pkb")
+        if method not in FILL_METHODS:
+            return (f"unknown method {method!r}; "
+                    f"expected one of {FILL_METHODS}")
+        if method.startswith("neurfill") and "model" not in params \
+                and not allow_train:
+            return ("no 'model' given and inline training is "
+                    "disabled on this server")
+    return None
+
+
+class JobExecutor:
+    """Executes admitted jobs with warm per-executor caches.
+
+    Args:
+        registry: model registry the executor binds surrogates from.
+        simulator: shared simulator (default physics) for calibration,
+            scoring and ``simulate`` jobs.
+        stats: optional event sink for batch-size histograms.
+        beta_runtime: calibrated-score knob, matching the one-shot CLI.
+        allow_train: permit inline surrogate training for neurfill jobs
+            without a registered model.
+        max_bound_networks: bound-network/batcher cache entries; layout
+            and coefficient cache sizes scale off this as in PR 3.
+        max_batch / flush_ms: cross-job micro-batching knobs; pass
+            ``max_batch=1`` to disable coalescing (the process-worker
+            configuration — a child executor never sees concurrency).
+        shard_id: tag added to ``serve.*`` job spans when this executor
+            lives inside a shard of a :class:`~repro.serve.router.ShardRouter`.
+    """
+
+    def __init__(self, registry: ModelRegistry | None = None, *,
+                 simulator: CmpSimulator | None = None,
+                 stats: ServeStats | None = None,
+                 beta_runtime: float = 60.0,
+                 allow_train: bool = True,
+                 max_bound_networks: int = 8,
+                 max_batch: int = 1,
+                 flush_ms: float = 0.0,
+                 shard_id: int | None = None):
+        self.registry = registry or ModelRegistry()
+        self.simulator = simulator or CmpSimulator()
+        self.stats = stats
+        self.beta_runtime = beta_runtime
+        self.allow_train = allow_train
+        self.max_bound_networks = max_bound_networks
+        self.max_batch = max_batch
+        self.flush_ms = flush_ms
+        self.shard_id = shard_id
+        self._layout_cache: OrderedDict[str, tuple[tuple, Layout, str]] = \
+            OrderedDict()
+        self._coeff_cache: OrderedDict[str, ScoreCoefficients] = OrderedDict()
+        self._batchers: OrderedDict[tuple[str, str],
+                                    tuple[CoalescedNetwork, MicroBatcher]] = \
+            OrderedDict()
+        self._sim_batcher = SimulateBatcher(
+            max_batch=max_batch, max_delay_s=flush_ms / 1e3, stats=stats)
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def execute(self, request: Request) -> dict:
+        attrs: dict = {"job_id": request.id}
+        if self.shard_id is not None:
+            attrs["shard"] = self.shard_id
+        with obs_trace.span(f"serve.{request.op}", cat="serve", **attrs):
+            if request.op == "simulate":
+                return self._simulate_job(request.params)
+            return self._fill_job(request.params)
+
+    def close(self) -> None:
+        """Drain and stop every flusher thread owned by this executor."""
+        with self._lock:
+            batchers = list(self._batchers.values())
+            self._batchers.clear()
+        for _, batcher in batchers:
+            batcher.close()
+        self._sim_batcher.close()
+
+    # ------------------------------------------------------------------
+    # Caches
+    # ------------------------------------------------------------------
+    def _load_layout(self, params: dict) -> tuple[Layout, str]:
+        if "layout" in params:
+            layout = layout_from_dict(params["layout"])
+            return layout, layout_fingerprint(layout)
+        path = params.get("layout_path")
+        if not isinstance(path, str) or not path:
+            raise ValueError("params must include 'layout' or 'layout_path'")
+        stat = Path(path).stat()
+        stamp = (stat.st_mtime_ns, stat.st_size)
+        with self._lock:
+            cached = self._layout_cache.get(path)
+            if cached is not None and cached[0] == stamp:
+                self._layout_cache.move_to_end(path)
+                return cached[1], cached[2]
+        layout = load_layout(path)
+        fingerprint = layout_fingerprint(layout)
+        with self._lock:
+            self._layout_cache[path] = (stamp, layout, fingerprint)
+            self._layout_cache.move_to_end(path)
+            while len(self._layout_cache) > 4 * self.max_bound_networks:
+                self._layout_cache.popitem(last=False)
+        return layout, fingerprint
+
+    def _coefficients(self, layout: Layout,
+                      fingerprint: str) -> ScoreCoefficients:
+        """Calibrated coefficients, cached per layout content.
+
+        Calibration runs one unfilled simulation; it is deterministic, so
+        the cached value is bitwise what the one-shot CLI recomputes.
+        """
+        with self._lock:
+            cached = self._coeff_cache.get(fingerprint)
+            if cached is not None:
+                self._coeff_cache.move_to_end(fingerprint)
+                return cached
+        coefficients = ScoreCoefficients.calibrated(
+            layout, self.simulator, beta_runtime=self.beta_runtime)
+        with self._lock:
+            self._coeff_cache[fingerprint] = coefficients
+            self._coeff_cache.move_to_end(fingerprint)
+            while len(self._coeff_cache) > 8 * self.max_bound_networks:
+                self._coeff_cache.popitem(last=False)
+        return coefficients
+
+    def _coalesced_network(self, model_name: str, layout: Layout,
+                           fingerprint: str):
+        key = (model_name, fingerprint)
+        with self._lock:
+            entry = self._batchers.get(key)
+            if entry is not None:
+                self._batchers.move_to_end(key)
+                return entry[0]
+        network = self.registry.network_for(model_name, layout, fingerprint)
+        batcher = MicroBatcher(
+            network, max_batch=self.max_batch,
+            max_delay_s=self.flush_ms / 1e3, stats=self.stats,
+        )
+        coalesced = CoalescedNetwork(network, batcher)
+        evicted: list[MicroBatcher] = []
+        with self._lock:
+            if key in self._batchers:  # lost a bind race; keep the winner
+                evicted.append(batcher)
+                self._batchers.move_to_end(key)
+                coalesced = self._batchers[key][0]
+            else:
+                self._batchers[key] = (coalesced, batcher)
+                self._batchers.move_to_end(key)
+                while len(self._batchers) > self.max_bound_networks:
+                    evicted.append(self._batchers.popitem(last=False)[1][1])
+        for old in evicted:
+            old.close()
+        return coalesced
+
+    # ------------------------------------------------------------------
+    # Job kinds
+    # ------------------------------------------------------------------
+    def _fill_job(self, params: dict) -> dict:
+        layout, fingerprint = self._load_layout(params)
+        method = params.get("method", "neurfill-pkb")
+        problem = FillProblem(layout, self._coefficients(layout, fingerprint))
+        if method == "lin":
+            result = lin_fill(problem)
+        elif method == "tao":
+            result = tao_fill(problem)
+        elif method == "cai":
+            result = cai_fill(problem, simulator=self.simulator,
+                              max_sqp_iterations=3)
+        else:
+            model_name = params.get("model")
+            if model_name is not None:
+                network = self._coalesced_network(
+                    str(model_name), layout, fingerprint)
+            else:
+                if not self.allow_train:
+                    raise ValueError(
+                        "no 'model' given and inline training is disabled")
+                network, _, _ = pretrain_surrogate(
+                    [layout], layout,
+                    sample_count=int(params.get("train_samples", 30)),
+                    tile_rows=layout.grid.rows, tile_cols=layout.grid.cols,
+                    base_channels=8, depth=2,
+                    config=TrainConfig(
+                        epochs=int(params.get("train_epochs", 20)),
+                        batch_size=8),
+                    simulator=self.simulator,
+                    seed=int(params.get("seed", 0)),
+                )
+            neurfill = NeurFill(
+                problem, network,
+                optimizer=SqpOptimizer(max_iter=80, tol=1e-9),
+                simulator=self.simulator,
+            )
+            result = neurfill.run(
+                method,
+                seed=int(params.get("seed", 0)),
+                max_evaluations=int(params.get("max_evaluations", 500)),
+                top_k=int(params.get("top_k", 3)),
+            )
+        payload = {
+            "method": result.method,
+            "layout": layout.name,
+            "quality": result.quality,
+            "total_fill": result.total_fill,
+            "runtime_s": result.runtime_s,
+            "evaluations": result.evaluations,
+            "starts": result.starts,
+        }
+        if params.get("score", True):
+            score = evaluate_solution(problem, result.fill, method,
+                                      self.simulator,
+                                      runtime_s=result.runtime_s)
+            payload["score"] = {
+                "delta_h": score.delta_h,
+                "quality": score.quality,
+                "overall": score.overall,
+            }
+        if params.get("return_fill"):
+            payload["fill"] = result.fill.tolist()
+        fill_out = params.get("fill_out")
+        if fill_out:
+            np.savez(fill_out, fill=result.fill)
+            payload["fill_out"] = str(fill_out)
+        return payload
+
+    def _simulate_job(self, params: dict) -> dict:
+        layout, _ = self._load_layout(params)
+        simulator = self.simulator
+        polish_time = params.get("polish_time")
+        if polish_time:
+            from ..cmp import ProcessParams
+            simulator = CmpSimulator(
+                ProcessParams(polish_time_s=float(polish_time)))
+        # Route through the simulate coalescer: concurrent simulate jobs
+        # sharing this physics and grid polish as one batched pass,
+        # bitwise identical to simulate_layout.
+        result = self._sim_batcher.simulate(apply_fill(layout), simulator)
+        delta_h, sigma, line, outliers = planarity_metrics(result.height)
+        return {
+            "layout": layout.name,
+            "rows": layout.grid.rows,
+            "cols": layout.grid.cols,
+            "layers": layout.num_layers,
+            "delta_h": delta_h,
+            "sigma": sigma,
+            "line_deviation": line,
+            "outliers": outliers,
+            "mean_dishing": float(result.dishing.mean()),
+            "mean_erosion": float(result.erosion.mean()),
+        }

@@ -33,6 +33,7 @@ class JobState(str, enum.Enum):
     FAILED = "failed"
     CANCELLED = "cancelled"
     TIMEOUT = "timeout"
+    WORKER_DIED = "worker_died"
 
 
 @dataclass

@@ -1,0 +1,403 @@
+"""Forked worker processes: the GIL-free serve worker pool.
+
+Thread workers (PR 3) share one interpreter, so numpy-heavy fill jobs
+contend on the GIL and throughput flattens as clients grow.  This module
+moves job *execution* — layout load, coefficient calibration, surrogate
+binding, MSP-SQP fill — into long-lived child processes, each owning a
+private warm :class:`~repro.serve.executor.JobExecutor` (its own
+:class:`~repro.serve.registry.ModelRegistry`, layout/coefficient caches,
+and simulator).  The parent keeps everything else: admission, the
+bounded queue, deadlines, the journal and stats.
+
+Transport is one duplex pipe per child carrying the *protocol's own*
+line encoding: the parent sends ``encode(request.to_wire())`` bytes; the
+child answers with ``encode({...})`` frames —
+
+* ``{"kind": "ready", "pid": ..., "plans": N}`` once booted (``plans``
+  counts warm conv-dispatch plans, see :func:`_child_bootstrap`);
+* ``{"kind": "hb", "pid": ...}`` heartbeats from a dedicated thread,
+  flowing even while the main thread is deep in a fill;
+* ``{"kind": "result", "job": id, "status": "done"|"error", ...}`` with
+  the result payload passed through :func:`~repro.serve.protocol.json_safe`
+  — exactly the NaN-safe sanitisation the client response gets, so the
+  bytes a client receives are identical in thread and process mode.
+
+Crash containment: a child that dies mid-job (OOM kill, segfault, SIGKILL)
+is detected by the waiting parent thread, the job is failed with the
+distinguishable ``worker_died`` terminal status (never silently lost — a
+client can safely retry, the job did not complete), and the worker slot
+is respawned.  Idle children are watched by a monitor thread and
+respawned on death too.
+
+Children are started with the ``fork`` start method where available
+(PR 1's parallel datagen proved cross-process simulation byte-identical
+under fork); ``spawn`` is the fallback on platforms without it.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+
+from . import protocol
+from .executor import JobExecutor
+from .protocol import ProtocolError, Request
+from .registry import ModelRegistry
+from .stats import ServeStats
+
+
+class WorkerDiedError(RuntimeError):
+    """The child process executing a job died before returning a result."""
+
+
+class RemoteJobError(RuntimeError):
+    """The job raised inside the child; carries the child's error string."""
+
+
+@dataclass(frozen=True)
+class WorkerSpec:
+    """Everything a child needs to build its executor (picklable)."""
+
+    models: tuple[tuple[str, str], ...] = ()
+    beta_runtime: float = 60.0
+    allow_train: bool = True
+    max_bound_networks: int = 8
+    heartbeat_s: float = 2.0
+
+
+def _mp_context():
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context("spawn")
+
+
+def _child_bootstrap() -> int:
+    """Per-fork initialisation; returns the number of warm conv plans.
+
+    Validates ``REPRO_CONV_BACKEND`` eagerly (a typo should fail the
+    worker at boot, not the first job) and force-loads the persisted
+    conv dispatch plan cache (``~/.cache/repro/conv_plans.json`` or
+    ``REPRO_CONV_PLAN_CACHE``) so a child reuses calibrated plans
+    instead of re-benchmarking every backend once per fork.  The file is
+    re-read even if the parent had already loaded it — fork inherits the
+    parent's loaded-guard, and the file on disk (written by any process,
+    possibly after the parent loaded) is the authoritative plan set.
+    When persistence is disabled the inherited in-memory table is kept.
+    """
+    from ..config import conv_backend_override, conv_plan_cache_path
+    from ..nn import dispatch
+
+    conv_backend_override()
+    if conv_plan_cache_path() is not None:
+        dispatch.clear_caches(reload_persisted=True)
+    return dispatch.warm_plan_cache()
+
+
+def _worker_main(conn, spec: WorkerSpec) -> None:
+    """Child entry point: execute request lines until the pipe closes."""
+    # The child never traces/aggregates for the parent; start its global
+    # metrics registry clean rather than inheriting the parent's samples.
+    from ..obs import metrics as obs_metrics
+    obs_metrics.reset()
+
+    plans = _child_bootstrap()
+    registry = ModelRegistry(max_bound=spec.max_bound_networks)
+    for name, directory in spec.models:
+        registry.register(name, directory)
+    executor = JobExecutor(
+        registry=registry,
+        beta_runtime=spec.beta_runtime,
+        allow_train=spec.allow_train,
+        max_bound_networks=spec.max_bound_networks,
+        max_batch=1,  # one job at a time per child; no cross-job traffic
+    )
+
+    send_lock = threading.Lock()
+
+    def send(payload: dict) -> None:
+        line = protocol.encode(payload)
+        with send_lock:
+            try:
+                conn.send_bytes(line.encode())
+            except (BrokenPipeError, OSError, ValueError):
+                pass  # parent is gone; the loop will exit on recv
+
+    send({"kind": "ready", "pid": os.getpid(), "plans": plans})
+
+    stop = threading.Event()
+
+    def heartbeat_loop() -> None:
+        while not stop.wait(spec.heartbeat_s):
+            send({"kind": "hb", "pid": os.getpid()})
+
+    hb_thread = threading.Thread(target=heartbeat_loop, daemon=True,
+                                 name="repro-serve-proc-hb")
+    hb_thread.start()
+    try:
+        while True:
+            try:
+                raw = conn.recv_bytes()
+            except (EOFError, OSError):
+                break  # parent closed the pipe: clean shutdown
+            try:
+                request = protocol.parse_request(raw.decode("utf-8"))
+            except ProtocolError as exc:  # impossible from our parent
+                send({"kind": "result", "job": None, "status": "error",
+                      "error": str(exc)})
+                continue
+            try:
+                result = executor.execute(request)
+            except Exception as exc:  # job failure must not kill the child
+                send({"kind": "result", "job": request.id,
+                      "status": "error", "error": str(exc)})
+            else:
+                send({"kind": "result", "job": request.id, "status": "done",
+                      "result": protocol.json_safe(result)})
+    finally:
+        stop.set()
+        executor.close()
+
+
+class _WorkerHandle:
+    """One child process slot; respawned in place when the child dies."""
+
+    def __init__(self, index: int, spec: WorkerSpec, ctx,
+                 start_timeout_s: float = 60.0):
+        self.index = index
+        self.spec = spec
+        self.ctx = ctx
+        self.start_timeout_s = start_timeout_s
+        self.process = None
+        self.conn = None
+        self.pid: int | None = None
+        self.boot_plans = 0
+        self.last_heartbeat: float | None = None
+        self.jobs = 0
+        self.in_use = False
+        self.spawn()
+
+    # ------------------------------------------------------------------
+    def spawn(self) -> None:
+        parent_conn, child_conn = self.ctx.Pipe(duplex=True)
+        process = self.ctx.Process(
+            target=_worker_main, args=(child_conn, self.spec),
+            name=f"repro-serve-proc-{self.index}", daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        self.process, self.conn = process, parent_conn
+        deadline = time.monotonic() + self.start_timeout_s
+        while True:
+            if parent_conn.poll(0.05):
+                try:
+                    message = self._recv()
+                except (EOFError, OSError):
+                    raise WorkerDiedError(
+                        f"worker {self.index} closed its pipe during boot")
+                if message.get("kind") == "ready":
+                    self.pid = int(message.get("pid") or process.pid)
+                    self.boot_plans = int(message.get("plans") or 0)
+                    self.last_heartbeat = time.monotonic()
+                    return
+            elif not process.is_alive():
+                raise WorkerDiedError(
+                    f"worker {self.index} died during boot "
+                    f"(exitcode {process.exitcode})")
+            elif time.monotonic() > deadline:
+                raise WorkerDiedError(
+                    f"worker {self.index} did not become ready within "
+                    f"{self.start_timeout_s}s")
+
+    def _recv(self) -> dict:
+        raw = self.conn.recv_bytes()
+        return protocol.decode(raw.decode("utf-8"))
+
+    @property
+    def alive(self) -> bool:
+        return self.process is not None and self.process.is_alive()
+
+    def drain(self) -> None:
+        """Consume queued heartbeats (called before dispatching a job)."""
+        try:
+            while self.conn.poll(0):
+                self._recv()
+                self.last_heartbeat = time.monotonic()
+        except (EOFError, OSError):
+            pass
+
+    # ------------------------------------------------------------------
+    def run(self, request: Request, poll_s: float = 0.1) -> dict:
+        """Execute one request in the child; blocks until its result.
+
+        Raises:
+            WorkerDiedError: the child died before producing a result.
+            RemoteJobError: the job raised inside the child.
+        """
+        line = protocol.encode(request.to_wire())
+        self.jobs += 1
+        try:
+            self.conn.send_bytes(line.encode())
+        except (BrokenPipeError, OSError):
+            raise WorkerDiedError(
+                f"worker pid {self.pid} died before accepting job "
+                f"{request.id!r}")
+        while True:
+            try:
+                if self.conn.poll(poll_s):
+                    message = self._recv()
+                else:
+                    if not self.alive and not self.conn.poll(0):
+                        raise WorkerDiedError(
+                            f"worker pid {self.pid} died while executing "
+                            f"job {request.id!r}")
+                    continue
+            except (EOFError, OSError):
+                raise WorkerDiedError(
+                    f"worker pid {self.pid} died while executing job "
+                    f"{request.id!r}")
+            self.last_heartbeat = time.monotonic()
+            if message.get("kind") != "result":
+                continue  # heartbeat
+            if message.get("job") != request.id:
+                continue  # stale frame from a previous incarnation
+            if message.get("status") == "done":
+                return message.get("result") or {}
+            raise RemoteJobError(str(message.get("error", "worker error")))
+
+    def close(self, timeout: float = 2.0) -> None:
+        try:
+            self.conn.close()  # child sees EOF and exits its loop
+        except OSError:
+            pass
+        if self.process is not None:
+            self.process.join(timeout=timeout)
+            if self.process.is_alive():
+                self.process.terminate()
+                self.process.join(timeout=timeout)
+
+    def describe(self) -> dict:
+        age = (None if self.last_heartbeat is None
+               else round(time.monotonic() - self.last_heartbeat, 3))
+        return {"index": self.index, "pid": self.pid, "alive": self.alive,
+                "jobs": self.jobs, "heartbeat_age_s": age,
+                "boot_plans": self.boot_plans}
+
+
+class ProcessWorkerPool:
+    """A fixed-size fleet of forked workers behind an acquire/run API.
+
+    The server's worker threads call :meth:`run`; each call pins one
+    child for the duration of the job, so at most ``workers`` jobs
+    execute concurrently — in separate processes, free of the GIL.
+    """
+
+    def __init__(self, workers: int, spec: WorkerSpec | None = None,
+                 stats: ServeStats | None = None):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.spec = spec or WorkerSpec()
+        self.stats = stats
+        self._ctx = _mp_context()
+        self._handles: list[_WorkerHandle] = []
+        self._cond = threading.Condition()
+        self._closed = False
+        self._monitor: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._handles:
+            return
+        self._handles = [
+            _WorkerHandle(i, self.spec, self._ctx)
+            for i in range(self.workers)
+        ]
+        self._monitor = threading.Thread(
+            target=self._monitor_loop, name="repro-serve-proc-monitor",
+            daemon=True)
+        self._monitor.start()
+
+    def close(self, timeout: float = 5.0) -> None:
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            self._cond.notify_all()
+        for handle in self._handles:
+            handle.close(timeout=timeout)
+
+    # ------------------------------------------------------------------
+    def run(self, request: Request) -> dict:
+        """Execute ``request`` on any free worker (see handle.run)."""
+        handle = self._acquire()
+        try:
+            return handle.run(request)
+        except WorkerDiedError:
+            self._revive(handle)
+            raise
+        finally:
+            self._release(handle)
+
+    def _acquire(self) -> _WorkerHandle:
+        with self._cond:
+            while True:
+                if self._closed:
+                    raise WorkerDiedError("worker pool is closed")
+                for handle in self._handles:
+                    if not handle.in_use:
+                        handle.in_use = True
+                        break
+                else:
+                    self._cond.wait(1.0)
+                    continue
+                break
+        if not handle.alive:
+            self._revive(handle)
+        handle.drain()
+        return handle
+
+    def _release(self, handle: _WorkerHandle) -> None:
+        with self._cond:
+            handle.in_use = False
+            self._cond.notify()
+
+    def _revive(self, handle: _WorkerHandle) -> None:
+        """Respawn a dead worker in place (best effort; caller owns it)."""
+        with self._cond:
+            if self._closed:
+                return
+        handle.close(timeout=0.5)
+        try:
+            handle.spawn()
+        except WorkerDiedError:
+            return  # next acquire retries; the slot stays claimable
+        if self.stats is not None:
+            self.stats.incr("worker_respawns")
+
+    def _monitor_loop(self) -> None:
+        """Respawn idle workers that died between jobs."""
+        while True:
+            with self._cond:
+                if self._closed:
+                    return
+                dead = None
+                for handle in self._handles:
+                    if not handle.in_use and not handle.alive:
+                        handle.in_use = True  # claim for the respawn
+                        dead = handle
+                        break
+            if dead is not None:
+                self._revive(dead)
+                self._release(dead)
+                continue
+            time.sleep(0.5)
+
+    # ------------------------------------------------------------------
+    def pids(self) -> list[int | None]:
+        return [handle.pid for handle in self._handles]
+
+    def describe(self) -> list[dict]:
+        return [handle.describe() for handle in self._handles]

@@ -35,16 +35,21 @@ IMMEDIATE_OPS = frozenset({"stats", "models", "cancel", "ping", "shutdown"})
 
 OPS = JOB_OPS | IMMEDIATE_OPS
 
-#: Response statuses that end a request's lifecycle.
+#: Response statuses that end a request's lifecycle.  ``worker_died``
+#: distinguishes "the worker process executing this job crashed" from an
+#: ordinary job ``error`` — clients can safely retry a ``worker_died``
+#: job (it never completed), whereas an ``error`` reproduces.
 TERMINAL_STATUSES = frozenset(
-    {"done", "error", "rejected", "cancelled", "timeout"}
+    {"done", "error", "rejected", "cancelled", "timeout", "worker_died"}
 )
 
 #: All response statuses (``accepted`` is the job ack).
 STATUSES = TERMINAL_STATUSES | {"accepted"}
 
 #: Statuses reported with ``ok: false``.
-_FAILURE_STATUSES = frozenset({"error", "rejected", "cancelled", "timeout"})
+_FAILURE_STATUSES = frozenset(
+    {"error", "rejected", "cancelled", "timeout", "worker_died"}
+)
 
 
 class ProtocolError(ValueError):

@@ -35,6 +35,21 @@ def layout_fingerprint(layout: Layout) -> str:
     return hashlib.sha1(payload.encode()).hexdigest()
 
 
+def parse_model_spec(spec: str) -> tuple[str, str]:
+    """Split a ``NAME=CHECKPOINT_DIR`` CLI spec into its two parts.
+
+    Shared by the registry and the process pool / shard router, which
+    ship specs (not live registries) to child processes that warm-load
+    their own copies.
+    """
+    name, sep, directory = spec.partition("=")
+    if not sep or not name or not directory:
+        raise ValueError(
+            f"bad model spec {spec!r}: expected NAME=CHECKPOINT_DIR"
+        )
+    return name, directory
+
+
 @dataclass
 class RegisteredModel:
     """One named checkpoint, already warm."""
@@ -79,12 +94,7 @@ class ModelRegistry:
 
     def register_spec(self, spec: str) -> RegisteredModel:
         """Register from a ``name=directory`` CLI spec."""
-        name, sep, directory = spec.partition("=")
-        if not sep or not name or not directory:
-            raise ValueError(
-                f"bad model spec {spec!r}: expected NAME=CHECKPOINT_DIR"
-            )
-        return self.register(name, directory)
+        return self.register(*parse_model_spec(spec))
 
     # ------------------------------------------------------------------
     def names(self) -> list[str]:

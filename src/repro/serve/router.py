@@ -1,0 +1,664 @@
+"""Fingerprint-sharded serving fleet: one front end, N shard processes.
+
+:class:`ShardRouter` presents the same transport surface as
+:class:`~repro.serve.server.FillServer` (``start`` / ``handle_line`` /
+``shutdown`` / ``wait_shutdown``) so :func:`~repro.serve.server.serve_pipe`
+and :func:`~repro.serve.server.serve_tcp` drive either interchangeably.
+Behind it, ``shards`` child processes each run a full journal-less
+``FillServer``; the router owns what must be global:
+
+* **admission** — validation, duplicate ids, per-shard backpressure
+  (``queue_capacity`` outstanding jobs per shard);
+* **the journal** — accepts fsync'd *before* dispatch, dones recorded as
+  terminal responses return, so a full-fleet crash resumes exactly the
+  accepted-but-unfinished jobs and a router restart re-routes them;
+* **routing** — jobs hash to shards by *layout identity* (the inline
+  layout's content or the layout path) via rendezvous (highest random
+  weight) hashing.  Same layout → same shard, so each shard's bound
+  networks, calibrated coefficients and layout cache stay warm for its
+  slice of the traffic, and adding a shard remaps only ~1/N of keys.
+  Fidelity is untouched: placement never changes *what* runs, only
+  *where* — every shard executes the identical deterministic pipeline;
+* **aggregation** — ``stats`` fans out to every shard and merges
+  (summed counters, ``per_shard`` detail); ``models`` is answered by
+  shard 0 (all shards load identical specs); ``cancel`` is forwarded to
+  the owning shard.
+
+Crash containment: a shard that dies takes only its in-flight jobs with
+it.  The router respawns it, re-dispatches each lost job once (accepted
+jobs are never silently dropped), and fails a twice-unlucky job with
+``worker_died``.  Other shards never notice.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+import time
+from dataclasses import dataclass, field, replace
+
+from ..obs import trace as obs_trace
+from . import protocol
+from .executor import validate_job
+from .journal import JobJournal
+from .procpool import _mp_context
+from .protocol import (
+    IMMEDIATE_OPS,
+    JOB_OPS,
+    ProtocolError,
+    Request,
+    encode,
+    parse_request,
+    response,
+)
+from .registry import ModelRegistry
+from .server import FillServer, ServeConfig, _safe_reply
+from .stats import ServeStats
+
+#: Prefix of router-internal request ids sent to shards (never collides
+#: with client ids, which the router rejects if they start with this).
+_INTERNAL = "__router__:"
+
+
+def routing_key(params: dict) -> str:
+    """The layout-identity string a job is routed by.
+
+    Inline layouts hash by canonical JSON content (same layout, same
+    key, regardless of dict ordering); path jobs route by the path —
+    the shard's mtime-validated layout cache handles file changes.
+    """
+    if "layout" in params:
+        digest = hashlib.sha1(
+            json.dumps(params["layout"], sort_keys=True,
+                       separators=(",", ":")).encode()).hexdigest()
+        return f"inline:{digest}"
+    return f"path:{params.get('layout_path')}"
+
+
+def rendezvous_shard(key: str, shards: int) -> int:
+    """Highest-random-weight shard for ``key`` (stable, minimal remap)."""
+    best, best_score = 0, b""
+    for shard in range(shards):
+        score = hashlib.sha1(f"{key}|{shard}".encode()).digest()
+        if score > best_score:
+            best, best_score = shard, score
+    return best
+
+
+def _shard_main(conn, shard_id: int, config: ServeConfig,
+                model_specs: tuple[tuple[str, str], ...]) -> None:
+    """Child entry point: run one journal-less FillServer over the pipe."""
+    from ..obs import metrics as obs_metrics
+    obs_metrics.reset()
+
+    registry = ModelRegistry(max_bound=config.max_bound_networks)
+    for name, directory in model_specs:
+        registry.register(name, directory)
+    server = FillServer(registry=registry, serve_config=config,
+                        shard_id=shard_id,
+                        model_specs=list(model_specs))
+    send_lock = threading.Lock()
+
+    def reply(message: dict) -> None:
+        line = encode(message)
+        with send_lock:
+            try:
+                conn.send_bytes(line.encode())
+            except (BrokenPipeError, OSError, ValueError):
+                pass  # router is gone; the recv loop will exit
+
+    server.start()
+    reply({"kind": "ready", "shard": shard_id})
+    try:
+        while True:
+            try:
+                raw = conn.recv_bytes()
+            except (EOFError, OSError):
+                break  # router closed the pipe
+            server.handle_line(raw.decode("utf-8"), reply)
+            if server.shutdown_complete:
+                return
+    finally:
+        if not server.shutdown_complete:
+            server.shutdown(drain=True)
+
+
+@dataclass
+class _Entry:
+    """One job (or internal request) the router is tracking."""
+
+    line: str
+    reply: object
+    shard: int
+    is_job: bool
+    acked: bool = False
+    redispatches: int = 0
+    result: dict | None = None
+    event: threading.Event = field(default_factory=threading.Event)
+
+
+class _ShardHandle:
+    """One shard process slot, respawned in place on death."""
+
+    def __init__(self, shard_id: int, config: ServeConfig,
+                 model_specs: tuple[tuple[str, str], ...], ctx,
+                 start_timeout_s: float = 60.0):
+        self.shard_id = shard_id
+        self.config = config
+        self.model_specs = model_specs
+        self.ctx = ctx
+        self.start_timeout_s = start_timeout_s
+        self.generation = 0
+        self.process = None
+        self.conn = None
+        self.send_lock = threading.Lock()
+
+    def spawn(self) -> None:
+        parent_conn, child_conn = self.ctx.Pipe(duplex=True)
+        # Not daemonic: a shard running worker_mode="process" must fork
+        # its own worker pool, which daemonic processes cannot.  Orphan
+        # cleanup comes from the pipe instead — when the router dies the
+        # shard's recv loop sees EOF and drains itself out.
+        process = self.ctx.Process(
+            target=_shard_main,
+            args=(child_conn, self.shard_id, self.config, self.model_specs),
+            name=f"repro-serve-shard-{self.shard_id}", daemon=False,
+        )
+        process.start()
+        child_conn.close()
+        self.process, self.conn = process, parent_conn
+        self.generation += 1
+        deadline = time.monotonic() + self.start_timeout_s
+        while True:
+            if parent_conn.poll(0.05):
+                message = protocol.decode(
+                    parent_conn.recv_bytes().decode("utf-8"))
+                if message.get("kind") == "ready":
+                    return
+            elif not process.is_alive():
+                raise RuntimeError(
+                    f"shard {self.shard_id} died during boot "
+                    f"(exitcode {process.exitcode})")
+            elif time.monotonic() > deadline:
+                raise RuntimeError(
+                    f"shard {self.shard_id} not ready within "
+                    f"{self.start_timeout_s}s")
+
+    def send_line(self, line: str) -> None:
+        with self.send_lock:
+            self.conn.send_bytes(line.encode())
+
+    @property
+    def alive(self) -> bool:
+        return self.process is not None and self.process.is_alive()
+
+
+class ShardRouter:
+    """Front end of a fingerprint-sharded serving fleet.
+
+    Duck-types the :class:`FillServer` transport surface; see the module
+    docstring for the division of labour between router and shards.
+
+    Args:
+        serve_config: fleet knobs; ``shards`` is the fleet width and the
+            rest configure each shard's inner server (``workers`` threads
+            or forked workers *per shard*).
+        journal_path: fleet-global crash journal (router-owned).
+        model_specs: ``(name, checkpoint_dir)`` pairs every shard loads.
+    """
+
+    def __init__(self, serve_config: ServeConfig | None = None,
+                 journal_path: str | None = None,
+                 model_specs: list[tuple[str, str]] | None = None):
+        self.config = serve_config or ServeConfig()
+        if self.config.shards < 2:
+            raise ValueError(
+                "ShardRouter needs shards >= 2; run FillServer directly "
+                "for a single shard")
+        self.model_specs = tuple(model_specs or ())
+        self.stats = ServeStats()
+        self._journal: JobJournal | None = None
+        self._resume_specs: list[dict] = []
+        if journal_path is not None:
+            self._resume_specs, self._journal = JobJournal.recover(
+                journal_path)
+        shard_config = replace(self.config, shards=1)
+        ctx = _mp_context()
+        self._shards = [
+            _ShardHandle(i, shard_config, self.model_specs, ctx)
+            for i in range(self.config.shards)
+        ]
+        self._lock = threading.Lock()
+        self._entries: dict[str, _Entry] = {}
+        self._outstanding = [0] * self.config.shards
+        self._readers: list[threading.Thread] = []
+        self._internal_seq = 0
+        self._accepting = True
+        self._started = False
+        self._closing = False
+        self._started_at = time.monotonic()
+        self._shutdown_event = threading.Event()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        for handle in self._shards:
+            handle.spawn()
+            self._start_reader(handle)
+        for spec in self._resume_specs:
+            try:
+                request = parse_request(encode(spec))
+            except ProtocolError:
+                continue
+            self.stats.incr("resumed")
+            self._admit(request, lambda message: None)
+        self._resume_specs = []
+
+    def _start_reader(self, handle: _ShardHandle) -> None:
+        thread = threading.Thread(
+            target=self._reader_loop, args=(handle, handle.generation),
+            name=f"repro-serve-shard-reader-{handle.shard_id}", daemon=True)
+        thread.start()
+        self._readers.append(thread)
+
+    @property
+    def shutdown_complete(self) -> bool:
+        return self._shutdown_event.is_set()
+
+    def wait_shutdown(self, timeout: float | None = None) -> bool:
+        return self._shutdown_event.wait(timeout)
+
+    def shutdown(self, drain: bool = True,
+                 timeout: float | None = None) -> None:
+        """Drain every shard, fail leftovers, close the journal."""
+        with self._lock:
+            if self._closing:
+                self._shutdown_event.wait()
+                return
+            self._accepting = False
+            self._closing = True
+        budget = self.config.drain_timeout_s if timeout is None else timeout
+        line = encode({"id": _INTERNAL + "shutdown", "op": "shutdown",
+                       "params": {"drain": drain}})
+        for handle in self._shards:
+            try:
+                handle.send_line(line)
+            except (BrokenPipeError, OSError):
+                pass
+        deadline = time.monotonic() + budget + 5.0
+        for handle in self._shards:
+            if handle.process is not None:
+                handle.process.join(
+                    timeout=max(0.1, deadline - time.monotonic()))
+                if handle.process.is_alive():
+                    handle.process.terminate()
+                    handle.process.join(timeout=2.0)
+            try:
+                handle.conn.close()
+            except (OSError, AttributeError):
+                pass
+        with self._lock:
+            leftovers = list(self._entries.values())
+            self._entries.clear()
+        for entry in leftovers:
+            if entry.is_job:
+                job_id = decode_id(entry.line)
+                if self._journal is not None and job_id:
+                    self._journal.record_done(job_id, "cancelled")
+                entry.reply(response(job_id, "cancelled",
+                                     error="server shutdown"))
+            else:
+                entry.event.set()
+        if self._journal is not None:
+            self._journal.close()
+        self._shutdown_event.set()
+
+    def kill(self) -> None:
+        """SIGKILL the whole fleet without recording outcomes.
+
+        Test hook simulating a power-loss crash: accepted jobs stay
+        pending in the journal so a new router on the same path resumes
+        them.
+        """
+        import os
+        import signal
+        with self._lock:
+            self._accepting = False
+            self._closing = True
+        for handle in self._shards:
+            if handle.process is not None and handle.process.is_alive():
+                os.kill(handle.process.pid, signal.SIGKILL)
+                handle.process.join(timeout=5.0)
+            try:
+                handle.conn.close()
+            except (OSError, AttributeError):
+                pass
+        # Deliberately do NOT journal dones or reply to waiters — the
+        # whole point is to model a crash, not a graceful stop.
+        self._shutdown_event.set()
+
+    # ------------------------------------------------------------------
+    # Request handling (transport threads)
+    # ------------------------------------------------------------------
+    def handle_line(self, line: str, reply) -> None:
+        """Parse and route one protocol line; never raises."""
+        reply = _safe_reply(reply)
+        try:
+            request = parse_request(line)
+        except ProtocolError as exc:
+            self.stats.incr("protocol_errors")
+            reply(response(None, "error", error=str(exc)))
+            return
+        if request.id.startswith(_INTERNAL):
+            reply(response(request.id, "rejected",
+                           error=f"ids beginning {_INTERNAL!r} are reserved"))
+            return
+        if request.op in JOB_OPS:
+            self._admit(request, reply)
+        elif request.op in IMMEDIATE_OPS:
+            self._handle_immediate(request, reply)
+
+    def _admit(self, request: Request, reply) -> None:
+        if not self._accepting:
+            self.stats.incr("rejected")
+            reply(response(request.id, "rejected",
+                           error="server is shutting down"))
+            return
+        error = validate_job(request, allow_train=self.config.allow_train)
+        if error is not None:
+            self.stats.incr("rejected")
+            reply(response(request.id, "rejected", error=error))
+            return
+        shard = rendezvous_shard(routing_key(request.params),
+                                 self.config.shards)
+        line = encode(request.to_wire())
+        with self._lock:
+            if request.id in self._entries:
+                self.stats.incr("rejected")
+                reply(response(request.id, "rejected",
+                               error=f"duplicate job id {request.id!r}"))
+                return
+            if self._outstanding[shard] >= self.config.queue_capacity:
+                self.stats.incr("rejected")
+                reply(response(
+                    request.id, "rejected",
+                    error=f"queue full (shard {shard} at capacity "
+                          f"{self.config.queue_capacity})"))
+                return
+            if self._journal is not None:
+                self._journal.record_accept(request)
+            entry = _Entry(line=line, reply=reply, shard=shard, is_job=True)
+            self._entries[request.id] = entry
+            self._outstanding[shard] += 1
+            self.stats.set_gauge(f"shard{shard}.outstanding",
+                                 self._outstanding[shard])
+        self.stats.incr("accepted")
+        self._dispatch(request.id, entry)
+
+    def _dispatch(self, job_id: str, entry: _Entry) -> None:
+        handle = self._shards[entry.shard]
+        with obs_trace.span("serve.dispatch", cat="serve", job_id=job_id,
+                            shard=entry.shard):
+            epoch = entry.redispatches
+            generation = handle.generation
+            try:
+                handle.send_line(entry.line)
+                return
+            except (BrokenPipeError, OSError, AttributeError):
+                pass
+        # The shard's pipe is broken.  If its reader already ran
+        # _shard_down before this entry was registered, nobody else will
+        # resend it — wait for the respawn (generation bump) and resend,
+        # off-thread so a single-threaded transport is not stalled.
+        threading.Thread(
+            target=self._resend_after_respawn,
+            args=(job_id, entry, handle, generation, epoch),
+            name=f"repro-serve-resend-{entry.shard}", daemon=True).start()
+
+    def _resend_after_respawn(self, job_id: str, entry: _Entry,
+                              handle: _ShardHandle, generation: int,
+                              epoch: int) -> None:
+        """Resend an entry whose first send hit a dead shard's pipe.
+
+        The redispatches epoch check prevents a duplicate send when
+        ``_shard_down`` *did* collect the entry: its increment under the
+        router lock happens before the generation bump we wait on.
+        """
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            time.sleep(0.05)
+            if handle.generation == generation:
+                continue
+            with self._lock:
+                if self._closing or self._entries.get(job_id) is not entry:
+                    return
+                if entry.redispatches != epoch:
+                    return  # _shard_down re-dispatched it already
+            try:
+                handle.send_line(entry.line)
+                return
+            except (BrokenPipeError, OSError, AttributeError):
+                generation = handle.generation
+        with self._lock:
+            if self._entries.pop(job_id, None) is not entry:
+                return
+            if entry.is_job:
+                self._outstanding[entry.shard] -= 1
+        if entry.is_job:
+            self._fail_job(job_id, entry)
+        else:
+            entry.event.set()
+
+    # ------------------------------------------------------------------
+    # Immediate ops
+    # ------------------------------------------------------------------
+    def _handle_immediate(self, request: Request, reply) -> None:
+        if request.op == "ping":
+            reply(response(request.id, "done", result={"pong": True}))
+        elif request.op == "stats":
+            reply(response(request.id, "done", result=self.stats_snapshot()))
+        elif request.op == "models":
+            result = self._ask_shard(0, "models")
+            if result is None:
+                reply(response(request.id, "error",
+                               error="shard 0 did not answer"))
+            else:
+                reply(response(request.id, "done", result=result))
+        elif request.op == "cancel":
+            self._handle_cancel(request, reply)
+        elif request.op == "shutdown":
+            drain = bool(request.params.get("drain", True))
+            self.shutdown(drain=drain)
+            reply(response(request.id, "done", result={"drained": drain}))
+
+    def _handle_cancel(self, request: Request, reply) -> None:
+        target = request.params.get("job_id")
+        if not isinstance(target, str) or not target:
+            reply(response(request.id, "error",
+                           error="cancel params need a 'job_id' string"))
+            return
+        with self._lock:
+            entry = self._entries.get(target)
+            shard = entry.shard if entry is not None else None
+        if shard is None:
+            reply(response(request.id, "done",
+                           result={"job_id": target, "cancelled": False}))
+            return
+        result = self._ask_shard(shard, "cancel", {"job_id": target})
+        reply(response(request.id, "done",
+                       result=result or {"job_id": target,
+                                         "cancelled": False}))
+
+    def _ask_shard(self, shard: int, op: str, params: dict | None = None,
+                   timeout: float = 10.0) -> dict | None:
+        """Forward one introspection op to a shard, wait for its answer."""
+        with self._lock:
+            self._internal_seq += 1
+            rid = f"{_INTERNAL}{op}:{self._internal_seq}"
+            entry = _Entry(
+                line=encode({"id": rid, "op": op, "params": params or {}}),
+                reply=lambda message: None, shard=shard, is_job=False)
+            self._entries[rid] = entry
+        try:
+            self._shards[shard].send_line(entry.line)
+        except (BrokenPipeError, OSError):
+            with self._lock:
+                self._entries.pop(rid, None)
+            return None
+        entry.event.wait(timeout)
+        with self._lock:
+            self._entries.pop(rid, None)
+        return entry.result
+
+    def stats_snapshot(self) -> dict:
+        """Fleet-wide view: merged counters plus per-shard detail."""
+        per_shard = []
+        for handle in self._shards:
+            snapshot = self._ask_shard(handle.shard_id, "stats")
+            per_shard.append(snapshot or {"unreachable": True})
+        merged = dict(self.stats.snapshot())
+        counters = dict(merged.get("counters", {}))
+        depth = 0
+        inflight = 0
+        for snapshot in per_shard:
+            for name, value in (snapshot.get("counters") or {}).items():
+                # The router records every admission and terminal outcome
+                # itself (it must, to journal them), so shard-level copies
+                # of those counters are duplicates, not additions.
+                if name in ("accepted", "rejected", "resumed", "completed",
+                            "error", "timeout", "cancelled", "worker_died",
+                            "protocol_errors"):
+                    continue
+                counters[name] = counters.get(name, 0) + value
+            depth += snapshot.get("queue_depth", 0) or 0
+            inflight += snapshot.get("inflight", 0) or 0
+        merged["counters"] = counters
+        merged.update({
+            "queue_depth": depth,
+            "queue_capacity": self.config.queue_capacity,
+            "inflight": inflight,
+            "workers": self.config.workers,
+            "worker_mode": self.config.worker_mode,
+            "shards": self.config.shards,
+            "accepting": self._accepting,
+            "outstanding": list(self._outstanding),
+            "per_shard": per_shard,
+            "uptime_s": round(time.monotonic() - self._started_at, 3),
+        })
+        return merged
+
+    # ------------------------------------------------------------------
+    # Shard replies and crash recovery
+    # ------------------------------------------------------------------
+    def _reader_loop(self, handle: _ShardHandle, generation: int) -> None:
+        conn = handle.conn
+        while True:
+            try:
+                raw = conn.recv_bytes()
+            except (EOFError, OSError):
+                self._shard_down(handle, generation)
+                return
+            try:
+                message = protocol.decode(raw.decode("utf-8"))
+            except ProtocolError:
+                continue
+            self._on_shard_message(handle.shard_id, message)
+
+    def _on_shard_message(self, shard: int, message: dict) -> None:
+        rid = message.get("id")
+        status = message.get("status")
+        if not isinstance(rid, str):
+            return
+        with self._lock:
+            entry = self._entries.get(rid)
+            if entry is None or entry.shard != shard:
+                return
+            if not entry.is_job:
+                entry.result = message.get("result") or {}
+                entry.event.set()
+                return
+            if status == "accepted":
+                if entry.acked:
+                    return  # re-dispatch after a crash; client saw one ack
+                entry.acked = True
+            elif status in protocol.TERMINAL_STATUSES:
+                self._entries.pop(rid, None)
+                self._outstanding[shard] -= 1
+                self.stats.set_gauge(f"shard{shard}.outstanding",
+                                     self._outstanding[shard])
+            else:
+                return
+        if status in protocol.TERMINAL_STATUSES:
+            if self._journal is not None:
+                self._journal.record_done(rid, status)
+            self.stats.incr("completed" if status == "done" else status)
+        entry.reply(message)
+
+    def _shard_down(self, handle: _ShardHandle, generation: int) -> None:
+        """A shard's pipe broke: respawn it and re-dispatch its jobs."""
+        with self._lock:
+            if self._closing or handle.generation != generation:
+                return
+            to_retry: list[tuple[str, _Entry]] = []
+            to_fail: list[tuple[str, _Entry]] = []
+            waiters: list[_Entry] = []
+            for rid, entry in list(self._entries.items()):
+                if entry.shard != handle.shard_id:
+                    continue
+                if not entry.is_job:
+                    del self._entries[rid]
+                    waiters.append(entry)
+                elif entry.redispatches >= 1:
+                    # Already survived one crash of this shard; a job
+                    # that kills its shard twice is failed, not looped.
+                    del self._entries[rid]
+                    self._outstanding[handle.shard_id] -= 1
+                    to_fail.append((rid, entry))
+                else:
+                    entry.redispatches += 1
+                    to_retry.append((rid, entry))
+            self.stats.set_gauge(f"shard{handle.shard_id}.outstanding",
+                                 self._outstanding[handle.shard_id])
+            self.stats.incr("shard_respawns")
+        for entry in waiters:
+            entry.event.set()  # waiter sees a None result and gives up
+        for rid, entry in to_fail:
+            self._fail_job(rid, entry)
+        try:
+            handle.spawn()
+        except RuntimeError:
+            with self._lock:
+                for rid, _ in to_retry:
+                    if self._entries.pop(rid, None) is not None:
+                        self._outstanding[handle.shard_id] -= 1
+            for rid, entry in to_retry:
+                self._fail_job(rid, entry)
+            return
+        self._start_reader(handle)
+        for rid, entry in to_retry:
+            self.stats.incr("redispatched")
+            self._dispatch(rid, entry)
+
+    def _fail_job(self, rid: str, entry: _Entry) -> None:
+        """Terminal worker_died for a job already removed from tracking."""
+        if self._journal is not None:
+            self._journal.record_done(rid, "worker_died")
+        self.stats.incr("worker_died")
+        entry.reply(response(
+            rid, "worker_died",
+            error=f"shard {entry.shard} died while executing this job"))
+
+
+def decode_id(line: str) -> str | None:
+    """Best-effort id extraction from an encoded request line."""
+    try:
+        message = protocol.decode(line)
+    except ProtocolError:
+        return None
+    rid = message.get("id")
+    return rid if isinstance(rid, str) else None

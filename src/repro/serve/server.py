@@ -1,7 +1,7 @@
 """The resident fill-synthesis service.
 
 :class:`FillServer` owns the moving parts — registry, bounded queue,
-worker pool, micro-batchers, journal, stats — and is transport-neutral:
+worker pool, executor, journal, stats — and is transport-neutral:
 :func:`serve_pipe` runs it over stdin/stdout, :func:`serve_tcp` over a
 TCP socket, and tests drive :meth:`FillServer.handle_line` directly.
 
@@ -11,17 +11,35 @@ Request lifecycle::
                      │          │                              │
                      ▼          ▼                              ▼
                 protocol    journal(accept, fsync)      execute (fill /
-                 errors      + "accepted" ack            simulate), with
-                                                         coalesced
-                                                         surrogate passes
+                 errors      + "accepted" ack            simulate) via
+                                                         JobExecutor, in
+                                                         this process or
+                                                         a forked child
                                                               │
                                      journal(done) ◀── terminal response
 
+Two worker modes share this skeleton (``ServeConfig.worker_mode``):
+
+* ``thread`` — jobs execute on the worker threads themselves through a
+  shared :class:`~repro.serve.executor.JobExecutor`, with cross-job
+  micro-batching (PR 3 behaviour).
+* ``process`` — worker threads dispatch to a
+  :class:`~repro.serve.procpool.ProcessWorkerPool` of long-lived forked
+  children, each owning a private warm executor; numpy-heavy jobs then
+  scale across cores instead of contending on the GIL.  A child that
+  dies mid-job yields the distinguishable terminal status
+  ``worker_died`` (safe to retry — the job did not complete) and its
+  slot is respawned.
+
+A dedicated expiry timer retires deadline-passed jobs promptly even
+while every worker is busy — queued jobs no longer wait for a worker to
+come up for air before learning they timed out.
+
 Graceful shutdown stops admission, drains the queue and in-flight jobs
-(bounded by ``drain_timeout_s``), closes the batchers and the journal.
-Because accepts are journalled before the ack, a crash instead of a
-drain loses nothing: the next server started on the same journal path
-re-runs every accepted-but-unfinished job spec.
+(bounded by ``drain_timeout_s``), closes the executor/pool and the
+journal.  Because accepts are journalled before the ack, a crash instead
+of a drain loses nothing: the next server started on the same journal
+path re-runs every accepted-but-unfinished job spec.
 """
 
 from __future__ import annotations
@@ -31,21 +49,12 @@ import threading
 import time
 from dataclasses import dataclass, field
 
-import numpy as np
-
 from .. import config as repro_config
-from ..baselines import cai_fill, lin_fill, tao_fill
-from ..obs import trace as obs_trace
 from ..cmp.simulator import CmpSimulator
-from ..core import FillProblem, NeurFill, ScoreCoefficients, evaluate_solution
-from ..core.scoring import planarity_metrics
-from ..layout.io import layout_from_dict, load_layout
-from ..layout.layout import Layout, apply_fill
-from ..optimize.sqp import SqpOptimizer
-from ..surrogate import TrainConfig, pretrain_surrogate
-from .batcher import CoalescedNetwork, MicroBatcher, SimulateBatcher
+from .executor import FILL_METHODS, JobExecutor, validate_job
 from .jobqueue import BoundedJobQueue, Job, JobState
 from .journal import JobJournal
+from .procpool import ProcessWorkerPool, WorkerDiedError, WorkerSpec
 from .protocol import (
     IMMEDIATE_OPS,
     JOB_OPS,
@@ -55,10 +64,18 @@ from .protocol import (
     parse_request,
     response,
 )
-from .registry import ModelRegistry, layout_fingerprint
+from .registry import ModelRegistry
 from .stats import ServeStats
 
-FILL_METHODS = ("lin", "tao", "cai", "neurfill-pkb", "neurfill-mm")
+__all__ = [
+    "FILL_METHODS",
+    "FillServer",
+    "ServeConfig",
+    "serve_pipe",
+    "serve_tcp",
+]
+
+WORKER_MODES = ("thread", "process")
 
 
 @dataclass
@@ -82,6 +99,15 @@ class ServeConfig:
     #: (slow; off for latency-sensitive deployments).
     allow_train: bool = True
     max_bound_networks: int = 8
+    #: ``thread`` executes jobs on the worker threads (coalescing across
+    #: jobs); ``process`` dispatches them to forked worker children.
+    worker_mode: str = field(
+        default_factory=repro_config.serve_worker_mode_default)
+    #: Shard-fleet width for :class:`~repro.serve.router.ShardRouter`;
+    #: 1 means a single unsharded server.
+    shards: int = field(default_factory=repro_config.serve_shards_default)
+    #: Liveness heartbeat period of forked workers (process mode).
+    heartbeat_s: float = 2.0
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -93,16 +119,39 @@ class ServeConfig:
             raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
         if self.flush_ms < 0:
             raise ValueError(f"flush_ms must be >= 0, got {self.flush_ms}")
+        if self.worker_mode not in WORKER_MODES:
+            raise ValueError(
+                f"worker_mode must be one of {WORKER_MODES}, "
+                f"got {self.worker_mode!r}")
+        if self.shards < 1:
+            raise ValueError(f"shards must be >= 1, got {self.shards}")
+        if self.heartbeat_s <= 0:
+            raise ValueError(
+                f"heartbeat_s must be > 0, got {self.heartbeat_s}")
 
 
 class FillServer:
-    """Long-running fill/simulate service over a line-JSON protocol."""
+    """Long-running fill/simulate service over a line-JSON protocol.
+
+    Args:
+        registry: warm model registry (thread mode binds from it; process
+            mode children warm-load their own copies from specs).
+        serve_config: knobs; ``worker_mode`` picks the execution engine.
+        journal_path: at-least-once crash journal (accepts fsync'd).
+        model_specs: ``(name, checkpoint_dir)`` pairs shipped to forked
+            workers.  Defaults to the registry's registered directories.
+        shard_id: set by :class:`~repro.serve.router.ShardRouter` when
+            this server is one shard of a fleet; tags job spans.
+    """
 
     def __init__(self, registry: ModelRegistry | None = None,
                  serve_config: ServeConfig | None = None,
-                 journal_path: str | None = None):
+                 journal_path: str | None = None,
+                 model_specs: list[tuple[str, str]] | None = None,
+                 shard_id: int | None = None):
         self.registry = registry or ModelRegistry()
         self.config = serve_config or ServeConfig()
+        self.shard_id = shard_id
         self.stats = ServeStats()
         self.queue = BoundedJobQueue(self.config.queue_capacity)
         self.simulator = CmpSimulator()
@@ -111,18 +160,39 @@ class FillServer:
         if journal_path is not None:
             self._resume_specs, self._journal = JobJournal.recover(
                 journal_path)
-        self._layout_cache: dict[str, tuple[tuple, Layout, str]] = {}
-        self._coeff_cache: dict[str, ScoreCoefficients] = {}
-        self._batchers: dict[tuple[str, str],
-                             tuple[CoalescedNetwork, MicroBatcher]] = {}
-        self._sim_batcher = SimulateBatcher(
+        self.executor = JobExecutor(
+            registry=self.registry,
+            simulator=self.simulator,
+            stats=self.stats,
+            beta_runtime=self.config.beta_runtime,
+            allow_train=self.config.allow_train,
+            max_bound_networks=self.config.max_bound_networks,
             max_batch=self.config.max_batch,
-            max_delay_s=self.config.flush_ms / 1e3, stats=self.stats,
+            flush_ms=self.config.flush_ms,
+            shard_id=shard_id,
         )
-        self._lock = threading.Lock()
+        self._pool: ProcessWorkerPool | None = None
+        if self.config.worker_mode == "process":
+            if model_specs is None:
+                model_specs = [
+                    (name, info["directory"])
+                    for name, info in sorted(self.registry.describe().items())
+                ]
+            self._pool = ProcessWorkerPool(
+                self.config.workers,
+                WorkerSpec(
+                    models=tuple(model_specs),
+                    beta_runtime=self.config.beta_runtime,
+                    allow_train=self.config.allow_train,
+                    max_bound_networks=self.config.max_bound_networks,
+                    heartbeat_s=self.config.heartbeat_s,
+                ),
+                stats=self.stats,
+            )
         self._drain_cond = threading.Condition()
         self._inflight = 0
         self._workers: list[threading.Thread] = []
+        self._expiry_thread: threading.Thread | None = None
         self._accepting = True
         self._started = False
         self._started_at = time.monotonic()
@@ -136,6 +206,11 @@ class FillServer:
         if self._started:
             return
         self._started = True
+        if self._pool is not None:
+            # Fork the children before starting any worker thread: a
+            # single-threaded parent forks safely, and the children
+            # inherit warm module state (plus test monkeypatches).
+            self._pool.start()
         for i in range(self.config.workers):
             thread = threading.Thread(
                 target=self._worker_loop, name=f"repro-serve-worker-{i}",
@@ -143,6 +218,9 @@ class FillServer:
             )
             thread.start()
             self._workers.append(thread)
+        self._expiry_thread = threading.Thread(
+            target=self._expiry_loop, name="repro-serve-expiry", daemon=True)
+        self._expiry_thread.start()
         for spec in self._resume_specs:
             try:
                 request = parse_request(encode(spec))
@@ -186,12 +264,11 @@ class FillServer:
         self.queue.close()
         for thread in self._workers:
             thread.join(timeout=5.0)
-        with self._lock:
-            batchers = list(self._batchers.values())
-            self._batchers.clear()
-        for _, batcher in batchers:
-            batcher.close()
-        self._sim_batcher.close()
+        if self._expiry_thread is not None:
+            self._expiry_thread.join(timeout=5.0)
+        if self._pool is not None:
+            self._pool.close()
+        self.executor.close()
         if self._journal is not None:
             self._journal.close()
         self._shutdown_event.set()
@@ -231,8 +308,10 @@ class FillServer:
             job.deadline = job.accepted_at + self.config.default_timeout_s
         if self.queue.put(job):
             self.stats.incr("accepted")
+            depth = self.queue.depth()
+            self.stats.set_gauge("queue_depth", depth)
             reply(response(request.id, "accepted",
-                           result={"queue_depth": self.queue.depth()}))
+                           result={"queue_depth": depth}))
         else:
             self.stats.incr("rejected")
             if self._journal is not None:
@@ -246,20 +325,7 @@ class FillServer:
             reply(response(request.id, "rejected", error=reason))
 
     def _validate_job(self, request: Request) -> str | None:
-        """Cheap admission-time validation (full errors surface at run)."""
-        params = request.params
-        if "layout" not in params and "layout_path" not in params:
-            return "params must include 'layout' or 'layout_path'"
-        if request.op == "fill":
-            method = params.get("method", "neurfill-pkb")
-            if method not in FILL_METHODS:
-                return (f"unknown method {method!r}; "
-                        f"expected one of {FILL_METHODS}")
-            if method.startswith("neurfill") and "model" not in params \
-                    and not self.config.allow_train:
-                return ("no 'model' given and inline training is "
-                        "disabled on this server")
-        return None
+        return validate_job(request, allow_train=self.config.allow_train)
 
     def _handle_immediate(self, request: Request, reply) -> None:
         if request.op == "ping":
@@ -298,24 +364,45 @@ class FillServer:
             "queue_capacity": self.queue.capacity,
             "inflight": self._inflight,
             "workers": self.config.workers,
+            "worker_mode": self.config.worker_mode,
             "accepting": self._accepting,
-            "coalescing": self.config.max_batch > 1,
+            "coalescing": self._pool is None and self.config.max_batch > 1,
             "max_batch": self.config.max_batch,
             "flush_ms": self.config.flush_ms,
             "models": self.registry.names(),
             "uptime_s": round(time.monotonic() - self._started_at, 3),
         })
+        if self.shard_id is not None:
+            snapshot["shard_id"] = self.shard_id
+        if self._pool is not None:
+            snapshot["proc_workers"] = self._pool.describe()
         return snapshot
 
     # ------------------------------------------------------------------
     # Worker pool
     # ------------------------------------------------------------------
+    def _expiry_loop(self) -> None:
+        """Retire deadline-passed queued jobs promptly.
+
+        Workers also expire due jobs when they come up for air, but with
+        every worker pinned under long fills a due job used to sit in the
+        queue until one finished.  This timer bounds that to its period.
+        """
+        while not self.queue.closed:
+            self._expire_due()
+            time.sleep(0.02)
+
+    def _expire_due(self) -> None:
+        for job in self.queue.expire_due():
+            # The deadline may come from the request or the server-wide
+            # default, so report the actual wait rather than timeout_s.
+            waited = time.monotonic() - job.accepted_at
+            self._finish(job, "timeout",
+                         error=f"timed out after {waited:.3f}s in queue")
+
     def _worker_loop(self) -> None:
         while True:
-            for job in self.queue.expire_due():
-                self._finish(job, "timeout",
-                             error=f"timed out after {job.request.timeout_s}s"
-                                   " in queue")
+            self._expire_due()
             job = self.queue.get(timeout=0.1)
             if job is None:
                 if self.queue.closed:
@@ -323,6 +410,7 @@ class FillServer:
                 continue
             self.stats.record_latency(
                 "queue_wait", job.started_at - job.accepted_at)
+            self.stats.set_gauge("queue_depth", self.queue.depth())
             with self._drain_cond:
                 self._inflight += 1
             try:
@@ -332,6 +420,8 @@ class FillServer:
                     continue
                 try:
                     result = self._execute(job.request)
+                except WorkerDiedError as exc:
+                    self._finish(job, "worker_died", error=str(exc))
                 except Exception as exc:  # job failure must not kill worker
                     self._finish(job, "error", error=str(exc))
                 else:
@@ -350,6 +440,7 @@ class FillServer:
         job.state = {
             "done": JobState.DONE, "error": JobState.FAILED,
             "cancelled": JobState.CANCELLED, "timeout": JobState.TIMEOUT,
+            "worker_died": JobState.WORKER_DIED,
         }.get(status, JobState.DONE)
         now = time.monotonic()
         if job.started_at is not None:
@@ -365,173 +456,10 @@ class FillServer:
     # Job execution
     # ------------------------------------------------------------------
     def _execute(self, request: Request) -> dict:
-        with obs_trace.span(f"serve.{request.op}", cat="serve",
-                            job_id=request.id):
-            if request.op == "simulate":
-                return self._simulate_job(request.params)
-            return self._fill_job(request.params)
-
-    def _load_layout(self, params: dict) -> tuple[Layout, str]:
-        if "layout" in params:
-            layout = layout_from_dict(params["layout"])
-            return layout, layout_fingerprint(layout)
-        path = params.get("layout_path")
-        if not isinstance(path, str) or not path:
-            raise ValueError("params must include 'layout' or 'layout_path'")
-        from pathlib import Path
-        stat = Path(path).stat()
-        stamp = (stat.st_mtime_ns, stat.st_size)
-        with self._lock:
-            cached = self._layout_cache.get(path)
-            if cached is not None and cached[0] == stamp:
-                return cached[1], cached[2]
-        layout = load_layout(path)
-        fingerprint = layout_fingerprint(layout)
-        with self._lock:
-            self._layout_cache[path] = (stamp, layout, fingerprint)
-            while len(self._layout_cache) > 4 * self.config.max_bound_networks:
-                self._layout_cache.pop(next(iter(self._layout_cache)))
-        return layout, fingerprint
-
-    def _coefficients(self, layout: Layout,
-                      fingerprint: str) -> ScoreCoefficients:
-        """Calibrated coefficients, cached per layout content.
-
-        Calibration runs one unfilled simulation; it is deterministic, so
-        the cached value is bitwise what the one-shot CLI recomputes.
-        """
-        with self._lock:
-            cached = self._coeff_cache.get(fingerprint)
-        if cached is not None:
-            return cached
-        coefficients = ScoreCoefficients.calibrated(
-            layout, self.simulator, beta_runtime=self.config.beta_runtime)
-        with self._lock:
-            self._coeff_cache[fingerprint] = coefficients
-            while len(self._coeff_cache) > 8 * self.config.max_bound_networks:
-                self._coeff_cache.pop(next(iter(self._coeff_cache)))
-        return coefficients
-
-    def _coalesced_network(self, model_name: str, layout: Layout,
-                           fingerprint: str):
-        key = (model_name, fingerprint)
-        with self._lock:
-            entry = self._batchers.get(key)
-            if entry is not None:
-                return entry[0]
-        network = self.registry.network_for(model_name, layout, fingerprint)
-        batcher = MicroBatcher(
-            network, max_batch=self.config.max_batch,
-            max_delay_s=self.config.flush_ms / 1e3, stats=self.stats,
-        )
-        coalesced = CoalescedNetwork(network, batcher)
-        evicted: list[MicroBatcher] = []
-        with self._lock:
-            if key in self._batchers:  # lost a bind race; keep the winner
-                evicted.append(batcher)
-                coalesced = self._batchers[key][0]
-            else:
-                self._batchers[key] = (coalesced, batcher)
-                while len(self._batchers) > self.config.max_bound_networks:
-                    oldest = next(iter(self._batchers))
-                    evicted.append(self._batchers.pop(oldest)[1])
-        for old in evicted:
-            old.close()
-        return coalesced
-
-    def _fill_job(self, params: dict) -> dict:
-        layout, fingerprint = self._load_layout(params)
-        method = params.get("method", "neurfill-pkb")
-        problem = FillProblem(layout, self._coefficients(layout, fingerprint))
-        if method == "lin":
-            result = lin_fill(problem)
-        elif method == "tao":
-            result = tao_fill(problem)
-        elif method == "cai":
-            result = cai_fill(problem, simulator=self.simulator,
-                              max_sqp_iterations=3)
-        else:
-            model_name = params.get("model")
-            if model_name is not None:
-                network = self._coalesced_network(
-                    str(model_name), layout, fingerprint)
-            else:
-                if not self.config.allow_train:
-                    raise ValueError(
-                        "no 'model' given and inline training is disabled")
-                network, _, _ = pretrain_surrogate(
-                    [layout], layout,
-                    sample_count=int(params.get("train_samples", 30)),
-                    tile_rows=layout.grid.rows, tile_cols=layout.grid.cols,
-                    base_channels=8, depth=2,
-                    config=TrainConfig(
-                        epochs=int(params.get("train_epochs", 20)),
-                        batch_size=8),
-                    simulator=self.simulator,
-                    seed=int(params.get("seed", 0)),
-                )
-            neurfill = NeurFill(
-                problem, network,
-                optimizer=SqpOptimizer(max_iter=80, tol=1e-9),
-                simulator=self.simulator,
-            )
-            result = neurfill.run(
-                method,
-                seed=int(params.get("seed", 0)),
-                max_evaluations=int(params.get("max_evaluations", 500)),
-                top_k=int(params.get("top_k", 3)),
-            )
-        payload = {
-            "method": result.method,
-            "layout": layout.name,
-            "quality": result.quality,
-            "total_fill": result.total_fill,
-            "runtime_s": result.runtime_s,
-            "evaluations": result.evaluations,
-            "starts": result.starts,
-        }
-        if params.get("score", True):
-            score = evaluate_solution(problem, result.fill, method,
-                                      self.simulator,
-                                      runtime_s=result.runtime_s)
-            payload["score"] = {
-                "delta_h": score.delta_h,
-                "quality": score.quality,
-                "overall": score.overall,
-            }
-        if params.get("return_fill"):
-            payload["fill"] = result.fill.tolist()
-        fill_out = params.get("fill_out")
-        if fill_out:
-            np.savez(fill_out, fill=result.fill)
-            payload["fill_out"] = str(fill_out)
-        return payload
-
-    def _simulate_job(self, params: dict) -> dict:
-        layout, _ = self._load_layout(params)
-        simulator = self.simulator
-        polish_time = params.get("polish_time")
-        if polish_time:
-            from ..cmp import ProcessParams
-            simulator = CmpSimulator(
-                ProcessParams(polish_time_s=float(polish_time)))
-        # Route through the simulate coalescer: concurrent simulate jobs
-        # sharing this physics and grid polish as one batched pass,
-        # bitwise identical to simulate_layout.
-        result = self._sim_batcher.simulate(apply_fill(layout), simulator)
-        delta_h, sigma, line, outliers = planarity_metrics(result.height)
-        return {
-            "layout": layout.name,
-            "rows": layout.grid.rows,
-            "cols": layout.grid.cols,
-            "layers": layout.num_layers,
-            "delta_h": delta_h,
-            "sigma": sigma,
-            "line_deviation": line,
-            "outliers": outliers,
-            "mean_dishing": float(result.dishing.mean()),
-            "mean_erosion": float(result.erosion.mean()),
-        }
+        """Run one admitted job (kept as a seam for tests to patch)."""
+        if self._pool is not None:
+            return self._pool.run(request)
+        return self.executor.execute(request)
 
 
 def _safe_reply(reply):
@@ -547,9 +475,11 @@ def _safe_reply(reply):
 # ----------------------------------------------------------------------
 # Transports
 # ----------------------------------------------------------------------
-def serve_pipe(server: FillServer, stdin=None, stdout=None) -> int:
+def serve_pipe(server, stdin=None, stdout=None) -> int:
     """Serve line-JSON over stdin/stdout until EOF or a shutdown op.
 
+    ``server`` is a :class:`FillServer` or a
+    :class:`~repro.serve.router.ShardRouter` (same duck-typed surface).
     Protocol traffic owns stdout; anything human-readable must go to
     stderr.  EOF on stdin triggers a graceful drain, so piping a finite
     job list into ``repro serve --pipe`` works as a batch runner.
@@ -580,11 +510,12 @@ def serve_pipe(server: FillServer, stdin=None, stdout=None) -> int:
     return 0
 
 
-def serve_tcp(server: FillServer, host: str = "127.0.0.1",
+def serve_tcp(server, host: str = "127.0.0.1",
               port: int = 0, ready=None) -> int:
     """Serve line-JSON over TCP; one reader thread per connection.
 
     Args:
+        server: a :class:`FillServer` or router (duck-typed).
         ready: optional callback invoked with the bound ``(host, port)``
             once the socket listens (lets tests/benches use port 0).
     """

@@ -71,6 +71,10 @@ class ServeStats:
                            f"expected one of {self.STAGES}")
         self._registry.record_latency(stage, seconds)
 
+    def set_gauge(self, name: str, value: float) -> None:
+        """Latest value of a point-in-time quantity (queue depth, ...)."""
+        self._registry.set_gauge(name, value)
+
     def snapshot(self) -> dict:
         shared = self._registry.snapshot()
         snapshot = {
@@ -82,4 +86,6 @@ class ServeStats:
                         for stage in self.STAGES
                         if stage in shared["latency"]},
         }
+        if "gauges" in shared:
+            snapshot["gauges"] = shared["gauges"]
         return snapshot

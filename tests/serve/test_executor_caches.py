@@ -1,0 +1,92 @@
+"""LRU behaviour of the :class:`JobExecutor` per-executor caches.
+
+The PR 3 server evicted its layout and coefficient caches FIFO — a hot
+layout hammered by every request could be evicted while cold one-off
+layouts survived.  The executor's caches are true LRUs now: a hit
+refreshes recency, eviction removes the least-recently-*used* entry,
+matching the ``ModelRegistry`` bound-network cache.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ScoreCoefficients
+from repro.layout import save_layout
+from repro.layout.designs import DESIGN_BUILDERS
+from repro.serve import JobExecutor
+
+
+@pytest.fixture()
+def layout_files(tmp_path):
+    paths = []
+    for k in range(5):
+        path = tmp_path / f"l{k}.json"
+        save_layout(DESIGN_BUILDERS["A"](rows=8, cols=8, seed=k), str(path))
+        paths.append(str(path))
+    return paths
+
+
+class TestLayoutCacheLru:
+    def test_hit_refreshes_recency(self, layout_files):
+        # max_bound_networks=1 -> layout cache capacity 4.
+        executor = JobExecutor(max_bound_networks=1)
+        for path in layout_files[:4]:
+            executor._load_layout({"layout_path": path})
+        assert list(executor._layout_cache) == layout_files[:4]
+
+        # Touch the oldest entry: under FIFO it would still be evicted
+        # next; under LRU the hit moves it to the young end.
+        executor._load_layout({"layout_path": layout_files[0]})
+        executor._load_layout({"layout_path": layout_files[4]})
+
+        assert layout_files[0] in executor._layout_cache
+        assert layout_files[1] not in executor._layout_cache  # true LRU victim
+        assert len(executor._layout_cache) == 4
+
+    def test_mtime_change_invalidates(self, layout_files):
+        executor = JobExecutor(max_bound_networks=1)
+        first, _ = executor._load_layout({"layout_path": layout_files[0]})
+        # Rewrite the file with different content; the stamp check must
+        # reload rather than serve the stale cached layout.
+        save_layout(DESIGN_BUILDERS["A"](rows=8, cols=8, seed=99),
+                    layout_files[0])
+        import os
+        os.utime(layout_files[0], ns=(1, 1))  # force a distinct mtime_ns
+        second, _ = executor._load_layout({"layout_path": layout_files[0]})
+        assert not np.array_equal(first.density_stack(),
+                                  second.density_stack())
+
+
+class TestCoefficientCacheLru:
+    def test_hit_refreshes_recency_and_skips_recalibration(
+            self, layout_files, monkeypatch):
+        executor = JobExecutor(max_bound_networks=1)  # coeff capacity 8
+        layout, _ = executor._load_layout({"layout_path": layout_files[0]})
+
+        calls = []
+        orig = ScoreCoefficients.calibrated.__func__
+
+        def counting(cls, *args, **kwargs):
+            calls.append(1)
+            return orig(cls, *args, **kwargs)
+
+        monkeypatch.setattr(ScoreCoefficients, "calibrated",
+                            classmethod(counting))
+
+        # Fill the cache with 8 distinct fingerprints.
+        for k in range(8):
+            executor._coefficients(layout, f"f{k}")
+        assert len(calls) == 8
+
+        executor._coefficients(layout, "f0")  # hit: refresh, no recalibration
+        assert len(calls) == 8
+
+        executor._coefficients(layout, "f8")  # evicts f1 (LRU), not f0
+        assert len(calls) == 9
+        assert "f0" in executor._coeff_cache
+        assert "f1" not in executor._coeff_cache
+
+        executor._coefficients(layout, "f0")  # still warm
+        assert len(calls) == 9
+        executor._coefficients(layout, "f1")  # evicted -> recalibrates
+        assert len(calls) == 10

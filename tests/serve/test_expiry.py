@@ -1,0 +1,78 @@
+"""Deadline expiry must not wait for a free worker.
+
+PR 3 expired due jobs only at the top of each worker loop iteration, so
+with every worker pinned under a long fill, a queued job whose deadline
+passed sat unanswered until some worker finished.  The server now runs a
+dedicated expiry timer: due jobs get their ``timeout`` response promptly
+even while all workers are busy.
+"""
+
+import time
+
+import pytest
+
+from repro.layout import save_layout
+from repro.layout.designs import DESIGN_BUILDERS
+from repro.serve import FillServer, ServeConfig
+
+from .test_server import BlockingExecute, Collector, submit
+
+
+@pytest.fixture()
+def layout_file(tmp_path):
+    path = tmp_path / "a.json"
+    save_layout(DESIGN_BUILDERS["A"](rows=8, cols=8, seed=3), str(path))
+    return str(path)
+
+
+def test_due_job_times_out_while_all_workers_busy(layout_file):
+    server = FillServer(serve_config=ServeConfig(
+        workers=1, queue_capacity=4, max_batch=1))
+    blocker = BlockingExecute(server)
+    server.start()
+    try:
+        collector = Collector()
+        params = {"layout_path": layout_file, "method": "lin",
+                  "score": False}
+        submit(server, collector, "running", params=params)
+        assert blocker.entered.wait(timeout=10.0)  # the only worker is busy
+
+        submit(server, collector, "starved", params=params, timeout_s=0.05)
+        collector.wait_for("starved", "accepted", timeout=5.0)
+
+        # The worker stays blocked the whole time: only the expiry timer
+        # can deliver this. PR 3 would hang here until the blocker fell.
+        t0 = time.monotonic()
+        timed_out = collector.wait_for("starved", "timeout", timeout=5.0)
+        assert time.monotonic() - t0 < 3.0
+        assert timed_out["ok"] is False
+        assert blocker.release.is_set() is False  # worker never came up
+
+        blocker.release.set()
+        collector.wait_for("running", "done")
+    finally:
+        blocker.release.set()
+        server.shutdown(timeout=10.0)
+
+
+def test_default_timeout_applies_to_queued_jobs(layout_file):
+    server = FillServer(serve_config=ServeConfig(
+        workers=1, queue_capacity=4, max_batch=1, default_timeout_s=0.05))
+    blocker = BlockingExecute(server)
+    server.start()
+    try:
+        collector = Collector()
+        params = {"layout_path": layout_file, "method": "lin",
+                  "score": False}
+        # The running job sets its own generous timeout (request-level
+        # timeout_s overrides the server default).
+        submit(server, collector, "running", params=params, timeout_s=60.0)
+        assert blocker.entered.wait(timeout=10.0)
+        submit(server, collector, "implicit", params=params)  # no timeout_s
+        collector.wait_for("implicit", "accepted", timeout=5.0)
+        collector.wait_for("implicit", "timeout", timeout=5.0)
+        blocker.release.set()
+        collector.wait_for("running", "done")
+    finally:
+        blocker.release.set()
+        server.shutdown(timeout=10.0)

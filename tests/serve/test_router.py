@@ -1,0 +1,299 @@
+"""Sharded-fleet tests: routing affinity, aggregation, crash recovery.
+
+The crash tests follow the same pattern as ``test_procpool``: patch
+``JobExecutor.execute`` at class level before ``router.start()`` so the
+forked shard children inherit the patch, and gate the patched body on
+sentinel files for a deterministic SIGKILL window.
+"""
+
+import json
+import multiprocessing
+import os
+import signal
+import time
+
+import pytest
+
+from repro.layout import save_layout
+from repro.layout.designs import DESIGN_BUILDERS
+from repro.serve import (
+    JobJournal,
+    ServeConfig,
+    ShardRouter,
+    rendezvous_shard,
+    routing_key,
+)
+from repro.serve.executor import JobExecutor as ExecutorClass
+
+from .test_server import Collector, submit
+
+pytestmark = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="shard router tests need the fork start method",
+)
+
+
+@pytest.fixture()
+def layout_file(tmp_path):
+    path = tmp_path / "a.json"
+    save_layout(DESIGN_BUILDERS["A"](rows=8, cols=8, seed=3), str(path))
+    return str(path)
+
+
+def _wait_until(predicate, timeout=60.0, message="condition"):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.05)
+    raise AssertionError(f"timed out waiting for {message}")
+
+
+class TestRouting:
+    """Pure-function routing properties; no processes involved."""
+
+    def test_same_layout_same_shard(self):
+        key = routing_key({"layout_path": "/designs/a.json"})
+        assert all(rendezvous_shard(key, 4) == rendezvous_shard(key, 4)
+                   for _ in range(10))
+
+    def test_inline_layout_keys_on_content_not_ordering(self):
+        a = routing_key({"layout": {"name": "x", "rows": 8}})
+        b = routing_key({"layout": {"rows": 8, "name": "x"}})
+        c = routing_key({"layout": {"name": "y", "rows": 8}})
+        assert a == b
+        assert a != c
+
+    def test_keys_spread_across_shards(self):
+        shards = {rendezvous_shard(routing_key(
+            {"layout_path": f"/designs/{k}.json"}), 4) for k in range(64)}
+        assert len(shards) == 4  # 64 keys over 4 shards hit every shard
+
+    def test_adding_a_shard_remaps_a_minority(self):
+        keys = [routing_key({"layout_path": f"/designs/{k}.json"})
+                for k in range(200)]
+        moved = sum(rendezvous_shard(key, 4) != rendezvous_shard(key, 5)
+                    for key in keys)
+        # Rendezvous hashing moves ~1/5 of keys when going 4 -> 5;
+        # mod-hashing would move ~4/5.  Allow generous slack.
+        assert moved < 200 * 0.4
+
+    def test_requires_two_shards(self):
+        with pytest.raises(ValueError):
+            ShardRouter(serve_config=ServeConfig(shards=1))
+
+
+class TestFleetRoundTrip:
+    def test_jobs_complete_and_stats_aggregate(self, layout_file, tmp_path):
+        other = tmp_path / "b.json"
+        save_layout(DESIGN_BUILDERS["A"](rows=8, cols=8, seed=7), str(other))
+        router = ShardRouter(serve_config=ServeConfig(
+            workers=1, queue_capacity=8, max_batch=1, shards=2))
+        router.start()
+        try:
+            collector = Collector()
+            for rid, path in (("j1", layout_file), ("j2", str(other))):
+                submit(router, collector, rid,
+                       params={"layout_path": path, "method": "lin",
+                               "score": False})
+            collector.wait_for("j1", "done")
+            collector.wait_for("j2", "done")
+
+            submit(router, collector, "st", op="stats")
+            snapshot = collector.wait_for("st", "done")["result"]
+            assert snapshot["shards"] == 2
+            assert snapshot["counters"]["accepted"] == 2
+            assert snapshot["counters"]["completed"] == 2
+            assert len(snapshot["per_shard"]) == 2
+            assert all(s.get("shard_id") == i
+                       for i, s in enumerate(snapshot["per_shard"]))
+
+            submit(router, collector, "pg", op="ping")
+            assert collector.wait_for("pg", "done")["result"]["pong"] is True
+            submit(router, collector, "md", op="models")
+            assert collector.wait_for("md", "done")["result"]["models"] == {}
+        finally:
+            router.shutdown(timeout=30.0)
+        assert router.shutdown_complete
+
+    def test_process_workers_compose_with_shards(self, layout_file):
+        """Shards must not be daemonic: each forks its own worker pool
+        when the fleet runs ``worker_mode="process"``."""
+        router = ShardRouter(serve_config=ServeConfig(
+            workers=1, queue_capacity=8, max_batch=1, shards=2,
+            worker_mode="process"))
+        router.start()
+        try:
+            collector = Collector()
+            submit(router, collector, "pj",
+                   params={"layout_path": layout_file, "method": "lin",
+                           "score": False})
+            collector.wait_for("pj", "done", timeout=120.0)
+            submit(router, collector, "st", op="stats")
+            snapshot = collector.wait_for("st", "done")["result"]
+            assert snapshot["worker_mode"] == "process"
+            assert all(len(s.get("proc_workers", ())) == 1
+                       for s in snapshot["per_shard"])
+        finally:
+            router.shutdown(timeout=60.0)
+
+    def test_duplicate_id_rejected(self, layout_file):
+        router = ShardRouter(serve_config=ServeConfig(
+            workers=1, queue_capacity=8, max_batch=1, shards=2))
+        router.start()
+        try:
+            collector = Collector()
+            params = {"layout_path": layout_file, "method": "lin",
+                      "score": False}
+            submit(router, collector, "dup", params=params)
+            submit(router, collector, "dup", params=params)
+            rejected = collector.wait_for("dup", "rejected", timeout=10.0)
+            assert "duplicate" in rejected["error"]
+            collector.wait_for("dup", "done")
+        finally:
+            router.shutdown(timeout=30.0)
+
+
+class TestShardCrash:
+    def test_sigkill_mid_job_redispatches_then_fails_on_second_crash(
+            self, tmp_path, layout_file, monkeypatch):
+        sentinel = tmp_path / "hold"
+        sentinel.write_text("x")
+        markers = tmp_path / "markers"
+        markers.mkdir()
+        orig = ExecutorClass.execute
+
+        def gated(self, request):
+            (markers / f"started-{request.id}-{os.getpid()}").write_text("x")
+            while sentinel.exists():
+                time.sleep(0.05)
+            return orig(self, request)
+
+        monkeypatch.setattr(ExecutorClass, "execute", gated)
+
+        router = ShardRouter(serve_config=ServeConfig(
+            workers=1, queue_capacity=8, max_batch=1, shards=2))
+        router.start()
+        try:
+            collector = Collector()
+            params = {"layout_path": layout_file, "method": "lin",
+                      "score": False}
+            submit(router, collector, "victim", params=params)
+            collector.wait_for("victim", "accepted", timeout=30.0)
+            _wait_until(
+                lambda: list(markers.glob("started-victim-*")),
+                message="a shard child to start executing the job")
+
+            shard = router._entries["victim"].shard
+            first_pid = router._shards[shard].process.pid
+            os.kill(first_pid, signal.SIGKILL)
+
+            # First crash: respawned shard re-runs the job (not lost, not
+            # failed) — a second marker appears from a different pid.
+            _wait_until(
+                lambda: len(set(markers.glob("started-victim-*"))) >= 2,
+                message="the respawned shard to re-execute the job")
+            assert "worker_died" not in collector.statuses("victim")
+            second_pid = router._shards[shard].process.pid
+            assert second_pid != first_pid
+
+            # Second crash of the same job: fail it distinguishably
+            # rather than crash-looping the shard forever.
+            os.kill(second_pid, signal.SIGKILL)
+            died = collector.wait_for("victim", "worker_died", timeout=30.0)
+            assert died["ok"] is False
+
+            # The fleet survives: the shard respawns again and fresh
+            # jobs (to either shard) complete once the gate is open.
+            sentinel.unlink()
+            submit(router, collector, "after", params=params)
+            collector.wait_for("after", "done", timeout=60.0)
+
+            counters = router.stats.snapshot()["counters"]
+            assert counters.get("redispatched") == 1
+            assert counters.get("worker_died") == 1
+            assert counters.get("shard_respawns", 0) >= 2
+        finally:
+            if sentinel.exists():
+                sentinel.unlink()
+            router.shutdown(timeout=30.0)
+
+    def test_other_shards_unaffected_by_a_crash(
+            self, tmp_path, layout_file, monkeypatch):
+        router = ShardRouter(serve_config=ServeConfig(
+            workers=1, queue_capacity=8, max_batch=1, shards=2))
+        router.start()
+        try:
+            collector = Collector()
+            # Kill an idle shard outright; jobs routed anywhere must
+            # still complete (the dead shard respawns on demand).
+            os.kill(router._shards[0].process.pid, signal.SIGKILL)
+            for k in range(4):
+                path = tmp_path / f"c{k}.json"
+                save_layout(DESIGN_BUILDERS["A"](rows=8, cols=8, seed=10 + k),
+                            str(path))
+                submit(router, collector, f"j{k}",
+                       params={"layout_path": str(path), "method": "lin",
+                               "score": False})
+            for k in range(4):
+                collector.wait_for(f"j{k}", "done", timeout=120.0)
+        finally:
+            router.shutdown(timeout=30.0)
+
+
+class TestFleetJournalResume:
+    def test_full_fleet_kill_then_restart_resumes_accepted_jobs(
+            self, tmp_path, layout_file):
+        journal_path = str(tmp_path / "journal.jsonl")
+        sentinel = tmp_path / "hold"
+        sentinel.write_text("x")
+        markers = tmp_path / "markers"
+        markers.mkdir()
+        orig = ExecutorClass.execute
+
+        def gated(self, request):
+            (markers / f"started-{request.id}-{os.getpid()}").write_text("x")
+            while sentinel.exists():
+                time.sleep(0.05)
+            return orig(self, request)
+
+        ExecutorClass.execute = gated
+        first = ShardRouter(
+            serve_config=ServeConfig(workers=1, queue_capacity=8,
+                                     max_batch=1, shards=2),
+            journal_path=journal_path)
+        try:
+            first.start()
+            collector = Collector()
+            submit(first, collector, "orphan",
+                   params={"layout_path": layout_file, "method": "lin",
+                           "score": False})
+            collector.wait_for("orphan", "accepted", timeout=30.0)
+            _wait_until(lambda: list(markers.glob("started-orphan-*")),
+                        message="the job to start executing")
+            # Power loss: every shard SIGKILLed, nothing journalled done.
+            first.kill()
+        finally:
+            ExecutorClass.execute = orig
+            if sentinel.exists():
+                sentinel.unlink()
+
+        pending = JobJournal.read_pending(journal_path)
+        assert [spec["id"] for spec in pending] == ["orphan"]
+
+        second = ShardRouter(
+            serve_config=ServeConfig(workers=1, queue_capacity=8,
+                                     max_batch=1, shards=2),
+            journal_path=journal_path)
+        try:
+            second.start()
+            _wait_until(
+                lambda: second.stats.snapshot()["counters"].get("completed"),
+                message="the resumed job to complete")
+            counters = second.stats.snapshot()["counters"]
+            assert counters.get("resumed") == 1
+            assert counters.get("completed") == 1
+        finally:
+            second.shutdown(timeout=30.0)
+        # The resumed job finished, so a third recovery finds nothing.
+        assert JobJournal.read_pending(journal_path) == []

@@ -170,6 +170,39 @@ class TestServePipe:
             client.shutdown(timeout=30)
             assert client.close() == 0
 
+    @pytest.mark.parametrize("argv", [
+        ["--worker-mode", "process", "--workers", "2"],
+        ["--shards", "2", "--workers", "1"],
+    ], ids=["process-pool", "sharded"])
+    def test_pipe_serve_parity_process_and_sharded(self, design_file,
+                                                   tmp_path, argv):
+        """Process-pool and sharded fleets return bitwise what the
+        one-shot CLI computes (same contract as thread mode)."""
+        import multiprocessing
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("needs the fork start method")
+        from repro.serve import ServeClient
+
+        src_dir = os.path.dirname(os.path.dirname(repro.__file__))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+
+        fill_npz = tmp_path / "oneshot.npz"
+        assert main(["fill", str(design_file), "--method", "lin",
+                     "--fill-out", str(fill_npz)]) == 0
+        oneshot = np.load(fill_npz)["fill"]
+
+        with ServeClient.pipe(argv=argv, env=env) as client:
+            assert client.ping(timeout=60)
+            done = client.fill(layout_path=str(design_file), method="lin",
+                               return_fill=True, timeout=180)
+            served = np.array(done["result"]["fill"])
+            assert np.array_equal(served, oneshot)
+            stats = client.stats(timeout=30)
+            assert stats["counters"]["completed"] >= 1
+            client.shutdown(timeout=60)
+            assert client.close() == 0
+
     def test_pipe_serve_rejects_bad_method(self, design_file):
         from repro.serve import ServeClient, ServeError
 

@@ -87,6 +87,11 @@ class JobExecutor:
             configuration — a child executor never sees concurrency).
         shard_id: tag added to ``serve.*`` job spans when this executor
             lives inside a shard of a :class:`~repro.serve.router.ShardRouter`.
+        shadow: optional :class:`~repro.lifecycle.ShadowExecutor`; every
+            registered-model fill is offered to it (it samples).  ``None``
+            — the default — keeps the fill path exactly the
+            pre-lifecycle one: no sampling counter, no extra branches
+            beyond one ``is None`` check.
     """
 
     def __init__(self, registry: ModelRegistry | None = None, *,
@@ -97,7 +102,8 @@ class JobExecutor:
                  max_bound_networks: int = 8,
                  max_batch: int = 1,
                  flush_ms: float = 0.0,
-                 shard_id: int | None = None):
+                 shard_id: int | None = None,
+                 shadow=None):
         self.registry = registry or ModelRegistry()
         self.simulator = simulator or CmpSimulator()
         self.stats = stats
@@ -107,6 +113,7 @@ class JobExecutor:
         self.max_batch = max_batch
         self.flush_ms = flush_ms
         self.shard_id = shard_id
+        self.shadow = shadow
         self._layout_cache: OrderedDict[str, tuple[tuple, Layout, str]] = \
             OrderedDict()
         self._coeff_cache: OrderedDict[str, ScoreCoefficients] = OrderedDict()
@@ -125,7 +132,7 @@ class JobExecutor:
         with obs_trace.span(f"serve.{request.op}", cat="serve", **attrs):
             if request.op == "simulate":
                 return self._simulate_job(request.params)
-            return self._fill_job(request.params)
+            return self._fill_job(request.params, job_id=request.id)
 
     def close(self) -> None:
         """Drain and stop every flusher thread owned by this executor."""
@@ -185,13 +192,25 @@ class JobExecutor:
 
     def _coalesced_network(self, model_name: str, layout: Layout,
                            fingerprint: str):
-        key = (model_name, fingerprint)
+        """(coalesced network, model snapshot) for a registered model.
+
+        Batchers are keyed by *(model, fingerprint, generation, stamp)*
+        so a hot swap never coalesces old- and new-generation
+        evaluations in one batch; when a new generation's batcher is
+        installed, stale same-model entries are evicted.  Closing an
+        evicted batcher is safe for in-flight jobs still holding its
+        coalesced wrapper: a closed batcher falls back to direct
+        evaluation, so those jobs finish on the old generation's
+        weights — the no-drain half of the swap guarantee.
+        """
+        network, model = self.registry.bind(model_name, layout, fingerprint)
+        token = (model.generation, model.stamp)
+        key = (model_name, fingerprint) + token
         with self._lock:
             entry = self._batchers.get(key)
             if entry is not None:
                 self._batchers.move_to_end(key)
-                return entry[0]
-        network = self.registry.network_for(model_name, layout, fingerprint)
+                return entry[0], model
         batcher = MicroBatcher(
             network, max_batch=self.max_batch,
             max_delay_s=self.flush_ms / 1e3, stats=self.stats,
@@ -204,21 +223,26 @@ class JobExecutor:
                 self._batchers.move_to_end(key)
                 coalesced = self._batchers[key][0]
             else:
+                for stale in [k for k in self._batchers
+                              if k[0] == model_name and k[2:] != token]:
+                    evicted.append(self._batchers.pop(stale)[1])
                 self._batchers[key] = (coalesced, batcher)
                 self._batchers.move_to_end(key)
                 while len(self._batchers) > self.max_bound_networks:
                     evicted.append(self._batchers.popitem(last=False)[1][1])
         for old in evicted:
             old.close()
-        return coalesced
+        return coalesced, model
 
     # ------------------------------------------------------------------
     # Job kinds
     # ------------------------------------------------------------------
-    def _fill_job(self, params: dict) -> dict:
+    def _fill_job(self, params: dict, job_id: str | None = None) -> dict:
         layout, fingerprint = self._load_layout(params)
         method = params.get("method", "neurfill-pkb")
         problem = FillProblem(layout, self._coefficients(layout, fingerprint))
+        network = None
+        bound_model = None
         if method == "lin":
             result = lin_fill(problem)
         elif method == "tao":
@@ -229,7 +253,7 @@ class JobExecutor:
         else:
             model_name = params.get("model")
             if model_name is not None:
-                network = self._coalesced_network(
+                network, bound_model = self._coalesced_network(
                     str(model_name), layout, fingerprint)
             else:
                 if not self.allow_train:
@@ -266,6 +290,13 @@ class JobExecutor:
             "evaluations": result.evaluations,
             "starts": result.starts,
         }
+        if bound_model is not None:
+            payload["generation"] = bound_model.generation
+            if self.shadow is not None:
+                self.shadow.submit(
+                    job_id=job_id or "", model=bound_model.name,
+                    generation=bound_model.generation, layout=layout,
+                    fill=result.fill, network=network)
         if params.get("score", True):
             score = evaluate_solution(problem, result.fill, method,
                                       self.simulator,

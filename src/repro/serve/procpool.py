@@ -36,12 +36,14 @@ under fork); ``spawn`` is the fallback on platforms without it.
 
 from __future__ import annotations
 
+import dataclasses
 import multiprocessing
 import os
 import threading
 import time
 from dataclasses import dataclass, field
 
+from ..lifecycle.monitor import ShadowExecutor
 from . import protocol
 from .executor import JobExecutor
 from .protocol import ProtocolError, Request
@@ -59,13 +61,22 @@ class RemoteJobError(RuntimeError):
 
 @dataclass(frozen=True)
 class WorkerSpec:
-    """Everything a child needs to build its executor (picklable)."""
+    """Everything a child needs to build its executor (picklable).
 
-    models: tuple[tuple[str, str], ...] = ()
+    ``models`` entries are ``(name, checkpoint_dir)`` or
+    ``(name, checkpoint_dir, generation)``; ``shadow_sample_rate > 0``
+    gives each child its own drift-monitor shadow executor whose
+    residual records stream to the parent as ``{"kind": "residual"}``
+    pipe frames.
+    """
+
+    models: tuple[tuple, ...] = ()
     beta_runtime: float = 60.0
     allow_train: bool = True
     max_bound_networks: int = 8
     heartbeat_s: float = 2.0
+    shadow_sample_rate: float = 0.0
+    drift_bound: float = 50.0
 
 
 def _mp_context():
@@ -105,8 +116,9 @@ def _worker_main(conn, spec: WorkerSpec) -> None:
 
     plans = _child_bootstrap()
     registry = ModelRegistry(max_bound=spec.max_bound_networks)
-    for name, directory in spec.models:
-        registry.register(name, directory)
+    for name, directory, *rest in spec.models:
+        registry.register(name, directory,
+                          generation=int(rest[0]) if rest else None)
     executor = JobExecutor(
         registry=registry,
         beta_runtime=spec.beta_runtime,
@@ -125,6 +137,46 @@ def _worker_main(conn, spec: WorkerSpec) -> None:
             except (BrokenPipeError, OSError, ValueError):
                 pass  # parent is gone; the loop will exit on recv
 
+    if spec.shadow_sample_rate > 0:
+        # Each child samples its own served fills; the parent folds the
+        # streamed residual frames into one fleet-wide drift window.
+        executor.shadow = ShadowExecutor(
+            simulator=executor.simulator,
+            sample_rate=spec.shadow_sample_rate,
+            drift_bound=spec.drift_bound,
+            sink=lambda record: send({"kind": "residual",
+                                      **record.to_wire()}),
+        )
+
+    def handle_control(message: dict) -> None:
+        """Apply a parent control frame (hot swap) and ack it."""
+        action = message.get("action")
+        if action != "swap":
+            send({"kind": "control_error", "action": action,
+                  "error": f"unknown control action {action!r}"})
+            return
+        name = str(message.get("model"))
+        directory = str(message.get("directory"))
+        generation = message.get("generation")
+        generation = int(generation) if generation is not None else None
+        try:
+            try:
+                registry.swap(name, directory, generation)
+            except KeyError:  # model arrived after this child forked
+                registry.register(name, directory, generation)
+            except ValueError:
+                # Already at (or past) this generation — e.g. a respawn
+                # that booted from the post-swap spec.  Not an error.
+                if generation is None \
+                        or registry.generation_of(name) < generation:
+                    raise
+        except Exception as exc:
+            send({"kind": "control_error", "action": "swap",
+                  "model": name, "error": str(exc)})
+            return
+        send({"kind": "control_ok", "action": "swap", "model": name,
+              "generation": registry.generation_of(name)})
+
     send({"kind": "ready", "pid": os.getpid(), "plans": plans})
 
     stop = threading.Event()
@@ -142,8 +194,16 @@ def _worker_main(conn, spec: WorkerSpec) -> None:
                 raw = conn.recv_bytes()
             except (EOFError, OSError):
                 break  # parent closed the pipe: clean shutdown
+            line = raw.decode("utf-8")
             try:
-                request = protocol.parse_request(raw.decode("utf-8"))
+                frame = protocol.decode(line)
+            except ProtocolError:
+                frame = {}
+            if isinstance(frame, dict) and frame.get("kind") == "control":
+                handle_control(frame)
+                continue
+            try:
+                request = protocol.parse_request(line)
             except ProtocolError as exc:  # impossible from our parent
                 send({"kind": "result", "job": None, "status": "error",
                       "error": str(exc)})
@@ -158,6 +218,8 @@ def _worker_main(conn, spec: WorkerSpec) -> None:
                       "result": protocol.json_safe(result)})
     finally:
         stop.set()
+        if executor.shadow is not None:
+            executor.shadow.close()
         executor.close()
 
 
@@ -165,11 +227,12 @@ class _WorkerHandle:
     """One child process slot; respawned in place when the child dies."""
 
     def __init__(self, index: int, spec: WorkerSpec, ctx,
-                 start_timeout_s: float = 60.0):
+                 start_timeout_s: float = 60.0, on_frame=None):
         self.index = index
         self.spec = spec
         self.ctx = ctx
         self.start_timeout_s = start_timeout_s
+        self.on_frame = on_frame
         self.process = None
         self.conn = None
         self.pid: int | None = None
@@ -177,6 +240,9 @@ class _WorkerHandle:
         self.last_heartbeat: float | None = None
         self.jobs = 0
         self.in_use = False
+        #: Highest pool swap sequence this child has applied (or booted
+        #: with).  Lagging handles are caught up lazily at acquire time.
+        self.swap_seq = 0
         self.spawn()
 
     # ------------------------------------------------------------------
@@ -213,7 +279,15 @@ class _WorkerHandle:
 
     def _recv(self) -> dict:
         raw = self.conn.recv_bytes()
-        return protocol.decode(raw.decode("utf-8"))
+        message = protocol.decode(raw.decode("utf-8"))
+        # Residual frames (child shadow executor) can interleave with
+        # anything; dispatch them here so every recv loop forwards them.
+        if message.get("kind") == "residual" and self.on_frame is not None:
+            try:
+                self.on_frame(message)
+            except Exception:
+                pass  # a monitor bug must never break the job channel
+        return message
 
     @property
     def alive(self) -> bool:
@@ -267,6 +341,45 @@ class _WorkerHandle:
                 return message.get("result") or {}
             raise RemoteJobError(str(message.get("error", "worker error")))
 
+    def control(self, payload: dict, timeout_s: float = 60.0) -> dict:
+        """Send one control frame and wait for its ack.
+
+        Only called on a claimed (``in_use``) handle, so no job result
+        can interleave — just heartbeats and residual frames, which the
+        wait loop skips.
+
+        Raises:
+            WorkerDiedError: the child died or timed out mid-control.
+        """
+        line = protocol.encode(payload)
+        action = payload.get("action")
+        try:
+            self.conn.send_bytes(line.encode())
+        except (BrokenPipeError, OSError):
+            raise WorkerDiedError(
+                f"worker pid {self.pid} died before control {action!r}")
+        deadline = time.monotonic() + timeout_s
+        while True:
+            try:
+                if self.conn.poll(0.05):
+                    message = self._recv()
+                else:
+                    if not self.alive and not self.conn.poll(0):
+                        raise WorkerDiedError(
+                            f"worker pid {self.pid} died during control "
+                            f"{action!r}")
+                    if time.monotonic() > deadline:
+                        raise WorkerDiedError(
+                            f"worker pid {self.pid} did not ack control "
+                            f"{action!r} within {timeout_s}s")
+                    continue
+            except (EOFError, OSError):
+                raise WorkerDiedError(
+                    f"worker pid {self.pid} died during control {action!r}")
+            self.last_heartbeat = time.monotonic()
+            if message.get("kind") in ("control_ok", "control_error"):
+                return message
+
     def close(self, timeout: float = 2.0) -> None:
         try:
             self.conn.close()  # child sees EOF and exits its loop
@@ -295,24 +408,29 @@ class ProcessWorkerPool:
     """
 
     def __init__(self, workers: int, spec: WorkerSpec | None = None,
-                 stats: ServeStats | None = None):
+                 stats: ServeStats | None = None, on_residual=None):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.workers = workers
         self.spec = spec or WorkerSpec()
         self.stats = stats
+        self.on_residual = on_residual
         self._ctx = _mp_context()
         self._handles: list[_WorkerHandle] = []
         self._cond = threading.Condition()
         self._closed = False
         self._monitor: threading.Thread | None = None
+        self._swap_seq = 0
+        #: Latest swap per model: name -> (directory, generation, seq).
+        self._swaps: dict[str, tuple[str, int, int]] = {}
 
     # ------------------------------------------------------------------
     def start(self) -> None:
         if self._handles:
             return
         self._handles = [
-            _WorkerHandle(i, self.spec, self._ctx)
+            _WorkerHandle(i, self.spec, self._ctx,
+                          on_frame=self.on_residual)
             for i in range(self.workers)
         ]
         self._monitor = threading.Thread(
@@ -330,6 +448,73 @@ class ProcessWorkerPool:
             handle.close(timeout=timeout)
 
     # ------------------------------------------------------------------
+    def swap(self, name: str, directory: str, generation: int) -> None:
+        """Broadcast a checkpoint swap to the fleet, without respawning.
+
+        Idle children reload the checkpoint immediately over their
+        control channel; children busy with a job are caught up lazily
+        right before their next job (:meth:`_acquire`) — the in-flight
+        job finishes on the weights it bound.  The pool spec is updated
+        too, so any future respawn boots straight into the new
+        generation.
+        """
+        directory = str(directory)
+        generation = int(generation)
+        with self._cond:
+            self._swap_seq += 1
+            seq = self._swap_seq
+            self._swaps[name] = (directory, generation, seq)
+            entries: list[tuple] = []
+            replaced = False
+            for entry in self.spec.models:
+                if entry[0] == name:
+                    entries.append((name, directory, generation))
+                    replaced = True
+                else:
+                    entries.append(tuple(entry))
+            if not replaced:
+                entries.append((name, directory, generation))
+            self.spec = dataclasses.replace(self.spec,
+                                            models=tuple(entries))
+            for handle in self._handles:
+                handle.spec = self.spec
+            if self._closed:
+                return
+            idle = [handle for handle in self._handles
+                    if not handle.in_use and handle.swap_seq < seq]
+            for handle in idle:
+                handle.in_use = True  # claim for the control round-trip
+        for handle in idle:
+            try:
+                self._apply_swaps(handle)
+            finally:
+                self._release(handle)
+
+    def _apply_swaps(self, handle: _WorkerHandle) -> None:
+        """Bring one *claimed* worker up to the newest swap sequence."""
+        with self._cond:
+            pending = sorted(
+                (seq, name, directory, generation)
+                for name, (directory, generation, seq) in self._swaps.items()
+                if seq > handle.swap_seq)
+            target = self._swap_seq
+        try:
+            for _, name, directory, generation in pending:
+                message = handle.control({
+                    "kind": "control", "action": "swap", "model": name,
+                    "directory": directory, "generation": generation})
+                if message.get("kind") != "control_ok":
+                    raise WorkerDiedError(
+                        f"worker pid {handle.pid} refused swap of "
+                        f"{name!r}: {message.get('error')}")
+        except WorkerDiedError:
+            # A respawn boots from the updated spec — same end state.
+            self._revive(handle)
+            return
+        handle.swap_seq = target
+        if self.stats is not None and pending:
+            self.stats.incr("worker_swaps")
+
     def run(self, request: Request) -> dict:
         """Execute ``request`` on any free worker (see handle.run)."""
         handle = self._acquire()
@@ -357,6 +542,8 @@ class ProcessWorkerPool:
         if not handle.alive:
             self._revive(handle)
         handle.drain()
+        if handle.swap_seq < self._swap_seq:
+            self._apply_swaps(handle)  # lazy catch-up after a busy swap
         return handle
 
     def _release(self, handle: _WorkerHandle) -> None:
@@ -370,10 +557,16 @@ class ProcessWorkerPool:
             if self._closed:
                 return
         handle.close(timeout=0.5)
+        # Capture the sequence before spawning: the fresh child boots
+        # from handle.spec, which reflects every swap up to this point;
+        # a swap that lands mid-spawn keeps a higher seq and is applied
+        # lazily at the next acquire.
+        target = self._swap_seq
         try:
             handle.spawn()
         except WorkerDiedError:
             return  # next acquire retries; the slot stays claimable
+        handle.swap_seq = target
         if self.stats is not None:
             self.stats.incr("worker_respawns")
 

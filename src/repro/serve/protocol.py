@@ -31,7 +31,8 @@ from dataclasses import dataclass, field
 JOB_OPS = frozenset({"fill", "simulate"})
 
 #: Ops answered immediately by the transport thread.
-IMMEDIATE_OPS = frozenset({"stats", "models", "cancel", "ping", "shutdown"})
+IMMEDIATE_OPS = frozenset({"stats", "models", "cancel", "ping", "shutdown",
+                           "lifecycle", "swap"})
 
 OPS = JOB_OPS | IMMEDIATE_OPS
 

@@ -34,11 +34,15 @@ from __future__ import annotations
 
 import hashlib
 import json
+import tempfile
 import threading
 import time
 from dataclasses import dataclass, field, replace
+from pathlib import Path
 
+from ..lifecycle import STATE_FILENAME, LifecycleManager
 from ..obs import trace as obs_trace
+from ..surrogate.persist import read_checkpoint_meta
 from . import protocol
 from .executor import validate_job
 from .journal import JobJournal
@@ -87,17 +91,15 @@ def rendezvous_shard(key: str, shards: int) -> int:
 
 
 def _shard_main(conn, shard_id: int, config: ServeConfig,
-                model_specs: tuple[tuple[str, str], ...]) -> None:
+                model_specs: tuple[tuple, ...]) -> None:
     """Child entry point: run one journal-less FillServer over the pipe."""
     from ..obs import metrics as obs_metrics
     obs_metrics.reset()
 
     registry = ModelRegistry(max_bound=config.max_bound_networks)
-    for name, directory in model_specs:
-        registry.register(name, directory)
-    server = FillServer(registry=registry, serve_config=config,
-                        shard_id=shard_id,
-                        model_specs=list(model_specs))
+    for name, directory, *rest in model_specs:
+        registry.register(name, directory,
+                          generation=int(rest[0]) if rest else None)
     send_lock = threading.Lock()
 
     def reply(message: dict) -> None:
@@ -108,6 +110,13 @@ def _shard_main(conn, shard_id: int, config: ServeConfig,
             except (BrokenPipeError, OSError, ValueError):
                 pass  # router is gone; the recv loop will exit
 
+    # Shadow residuals stream up the same pipe as job replies; the
+    # router folds them into the fleet-wide drift window.
+    server = FillServer(registry=registry, serve_config=config,
+                        shard_id=shard_id,
+                        model_specs=list(model_specs),
+                        residual_sink=lambda wire: reply(
+                            {"kind": "residual", **wire}))
     server.start()
     reply({"kind": "ready", "shard": shard_id})
     try:
@@ -142,7 +151,7 @@ class _ShardHandle:
     """One shard process slot, respawned in place on death."""
 
     def __init__(self, shard_id: int, config: ServeConfig,
-                 model_specs: tuple[tuple[str, str], ...], ctx,
+                 model_specs: tuple[tuple, ...], ctx,
                  start_timeout_s: float = 60.0):
         self.shard_id = shard_id
         self.config = config
@@ -205,25 +214,63 @@ class ShardRouter:
             rest configure each shard's inner server (``workers`` threads
             or forked workers *per shard*).
         journal_path: fleet-global crash journal (router-owned).
-        model_specs: ``(name, checkpoint_dir)`` pairs every shard loads.
+        model_specs: ``(name, checkpoint_dir[, generation])`` tuples
+            every shard loads.
     """
 
     def __init__(self, serve_config: ServeConfig | None = None,
                  journal_path: str | None = None,
-                 model_specs: list[tuple[str, str]] | None = None):
+                 model_specs: list[tuple] | None = None):
         self.config = serve_config or ServeConfig()
         if self.config.shards < 2:
             raise ValueError(
                 "ShardRouter needs shards >= 2; run FillServer directly "
                 "for a single shard")
-        self.model_specs = tuple(model_specs or ())
+        self.model_specs = tuple(tuple(entry) for entry in model_specs or ())
         self.stats = ServeStats()
         self._journal: JobJournal | None = None
         self._resume_specs: list[dict] = []
         if journal_path is not None:
             self._resume_specs, self._journal = JobJournal.recover(
                 journal_path)
-        shard_config = replace(self.config, shards=1)
+        # The router owns fleet-wide lifecycle state (drift window,
+        # retrain, persisted generations); shards only *sample* — their
+        # residual frames stream up the pipes, and their own retrain is
+        # forced off so one drift trip cannot start N retrains.
+        self.lifecycle: LifecycleManager | None = None
+        if self.config.shadow_sample_rate > 0 or self.config.auto_retrain:
+            lifecycle_dir = self._resolve_lifecycle_dir(journal_path)
+            self.lifecycle = LifecycleManager(
+                self.config,
+                simulator=None,  # retrain datagen builds its own teacher
+                stats=self.stats,
+                state_path=(lifecycle_dir / STATE_FILENAME
+                            if lifecycle_dir is not None else None),
+                checkpoint_root=(lifecycle_dir
+                                 if self.config.auto_retrain else None),
+                apply_swap=self._broadcast_swap,
+                model_info=self._model_info,
+                journal_reader=self._journal_requests,
+                local_shadow=False,
+            )
+            restored = self.lifecycle.restore()
+            if restored:
+                self.model_specs = tuple(
+                    (entry[0],) + restored[entry[0]]
+                    if entry[0] in restored else entry
+                    for entry in self.model_specs)
+            for entry in self.model_specs:
+                name, directory = entry[0], entry[1]
+                if len(entry) > 2:
+                    generation = int(entry[2])
+                else:
+                    try:
+                        generation = int(read_checkpoint_meta(
+                            directory).get("generation") or 1)
+                    except (OSError, ValueError):
+                        generation = 1
+                self.lifecycle.set_generation(name, generation, directory)
+        shard_config = replace(self.config, shards=1, auto_retrain=False)
         ctx = _mp_context()
         self._shards = [
             _ShardHandle(i, shard_config, self.model_specs, ctx)
@@ -314,6 +361,8 @@ class ShardRouter:
                                      error="server shutdown"))
             else:
                 entry.event.set()
+        if self.lifecycle is not None:
+            self.lifecycle.close()
         if self._journal is not None:
             self._journal.close()
         self._shutdown_event.set()
@@ -469,12 +518,152 @@ class ShardRouter:
                                error="shard 0 did not answer"))
             else:
                 reply(response(request.id, "done", result=result))
+        elif request.op == "lifecycle":
+            reply(response(request.id, "done",
+                           result=self.lifecycle_status()))
+        elif request.op == "swap":
+            self._handle_swap(request, reply)
         elif request.op == "cancel":
             self._handle_cancel(request, reply)
         elif request.op == "shutdown":
             drain = bool(request.params.get("drain", True))
             self.shutdown(drain=drain)
             reply(response(request.id, "done", result={"drained": drain}))
+
+    # ------------------------------------------------------------------
+    # Lifecycle: fleet-wide swap broadcast + drift status
+    # ------------------------------------------------------------------
+    def _resolve_lifecycle_dir(self, journal_path: str | None) -> Path | None:
+        if self.config.lifecycle_dir:
+            directory = Path(self.config.lifecycle_dir)
+        elif journal_path is not None:
+            directory = Path(journal_path).with_name(
+                Path(journal_path).name + ".lifecycle")
+        elif self.config.auto_retrain:
+            directory = Path(tempfile.mkdtemp(prefix="repro-lifecycle-"))
+        else:
+            return None
+        directory.mkdir(parents=True, exist_ok=True)
+        return directory
+
+    def _model_info(self, name: str) -> dict:
+        for entry in self.model_specs:
+            if entry[0] == name:
+                meta = read_checkpoint_meta(entry[1])
+                return {"arch": dict(meta.get("arch") or {}),
+                        "directory": str(entry[1])}
+        raise KeyError(f"unknown model {name!r}")
+
+    def _journal_requests(self, job_ids: list[str]) -> dict[str, dict]:
+        if self._journal is None:
+            return {}
+        return JobJournal.read_requests(self._journal.path, job_ids)
+
+    def _broadcast_swap(self, name: str, directory: str,
+                        generation: int | None = None) -> int:
+        """Swap ``name`` on every shard; all-or-error, no draining.
+
+        Each shard performs a full local swap (registry rebind + its
+        worker pool's control broadcast).  The monotonic-generation
+        guard makes a partial failure safe to retry: shards already at
+        the new generation ack idempotently via their registries'
+        "already applied" path... they simply reject the duplicate, which
+        this method treats as failure only when the shard's reported
+        generation does not match.
+        """
+        directory = str(directory)
+        if generation is None:
+            meta_generation = read_checkpoint_meta(directory).get(
+                "generation")
+            if meta_generation:
+                generation = int(meta_generation)
+            elif self.lifecycle is not None:
+                generation = self.lifecycle.generation_of(name) + 1
+            else:
+                models = (self._ask_shard(0, "models") or {}).get(
+                    "models") or {}
+                current = (models.get(name) or {}).get("generation", 1)
+                generation = int(current) + 1
+        generation = int(generation)
+        failed: list[int] = []
+        for handle in self._shards:
+            result = self._ask_shard(
+                handle.shard_id, "swap",
+                {"model": name, "directory": directory,
+                 "generation": generation},
+                timeout=60.0)
+            if not result or result.get("generation") != generation:
+                failed.append(handle.shard_id)
+        if failed:
+            raise RuntimeError(
+                f"swap of {name!r} to generation {generation} failed on "
+                f"shard(s) {failed}; retry is safe (monotonic guard)")
+        with self._lock:
+            entries = [
+                (name, directory, generation) if entry[0] == name
+                else tuple(entry)
+                for entry in self.model_specs
+            ]
+            self.model_specs = tuple(entries)
+            for handle in self._shards:
+                handle.model_specs = self.model_specs
+        if self._journal is not None:
+            self._journal.record_swap(name, generation, directory)
+        self.stats.incr("swaps")
+        self.stats.set_gauge(f"generation.{name}", float(generation))
+        return generation
+
+    def swap_model(self, name: str, directory: str,
+                   generation: int | None = None) -> int:
+        """Operator-facing fleet swap; records lifecycle state too."""
+        generation = self._broadcast_swap(name, directory, generation)
+        if self.lifecycle is not None:
+            self.lifecycle.note_swap(name, str(directory), generation)
+        return generation
+
+    def _handle_swap(self, request: Request, reply) -> None:
+        name = request.params.get("model")
+        directory = request.params.get("directory")
+        if not isinstance(name, str) or not name \
+                or not isinstance(directory, str) or not directory:
+            reply(response(request.id, "error",
+                           error="swap params need 'model' and "
+                                 "'directory' strings"))
+            return
+        generation = request.params.get("generation")
+        try:
+            generation = self.swap_model(
+                name, directory,
+                int(generation) if generation is not None else None)
+        except (KeyError, ValueError, FileNotFoundError,
+                RuntimeError) as exc:
+            self.stats.incr("swap_rejected")
+            reply(response(request.id, "error", error=str(exc)))
+            return
+        reply(response(request.id, "done",
+                       result={"model": name, "generation": generation}))
+
+    def lifecycle_status(self) -> dict:
+        """Fleet lifecycle view: router state plus per-shard detail."""
+        per_shard = []
+        for handle in self._shards:
+            snapshot = self._ask_shard(handle.shard_id, "lifecycle")
+            per_shard.append(snapshot or {"unreachable": True})
+        result: dict = {
+            "enabled": self.lifecycle is not None,
+            "shards": self.config.shards,
+            "models": {},
+        }
+        for entry in self.model_specs:
+            generation = (int(entry[2]) if len(entry) > 2
+                          else (self.lifecycle.generation_of(entry[0])
+                                if self.lifecycle is not None else 1))
+            result["models"][entry[0]] = {
+                "directory": str(entry[1]), "generation": generation}
+        if self.lifecycle is not None:
+            result.update(self.lifecycle.status())
+        result["per_shard"] = per_shard
+        return result
 
     def _handle_cancel(self, request: Request, reply) -> None:
         target = request.params.get("job_id")
@@ -532,7 +721,7 @@ class ShardRouter:
                 # of those counters are duplicates, not additions.
                 if name in ("accepted", "rejected", "resumed", "completed",
                             "error", "timeout", "cancelled", "worker_died",
-                            "protocol_errors"):
+                            "protocol_errors", "swaps", "swap_rejected"):
                     continue
                 counters[name] = counters.get(name, 0) + value
             depth += snapshot.get("queue_depth", 0) or 0
@@ -570,6 +759,12 @@ class ShardRouter:
             self._on_shard_message(handle.shard_id, message)
 
     def _on_shard_message(self, shard: int, message: dict) -> None:
+        if message.get("kind") == "residual":
+            # Shadow residual streamed up from a shard's sampler; fold it
+            # into the fleet-wide drift window (no job bookkeeping).
+            if self.lifecycle is not None:
+                self.lifecycle.observe_wire(message)
+            return
         rid = message.get("id")
         status = message.get("status")
         if not isinstance(rid, str):
@@ -595,7 +790,8 @@ class ShardRouter:
                 return
         if status in protocol.TERMINAL_STATUSES:
             if self._journal is not None:
-                self._journal.record_done(rid, status)
+                generation = (message.get("result") or {}).get("generation")
+                self._journal.record_done(rid, status, generation=generation)
             self.stats.incr("completed" if status == "done" else status)
         entry.reply(message)
 

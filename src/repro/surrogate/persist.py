@@ -10,36 +10,118 @@ Loading is split in two stages so long-lived processes (``repro serve``)
 can warm-load the weights once and re-bind them to many layouts:
 :func:`load_surrogate_bundle` reads the files, :func:`bind_surrogate`
 attaches a bundle to a layout.  :func:`load_surrogate` composes both.
+
+Writes are **atomic and deterministic**: each file is written to a
+temporary name in the same directory, fsync'd, and ``os.replace``'d into
+place, so a concurrent reader (a hot-swapping server) can never observe
+a torn file; and the ``.npz`` archive is emitted with fixed zip
+timestamps, so the same weights always produce the same bytes — the
+lifecycle retrain path asserts byte-identical checkpoints for a fixed
+seed.  Atomicity is per file; generation checkpoints written by the
+lifecycle are one-directory-per-generation and never mutated, while
+in-place overwrites are detected by readers via :func:`checkpoint_stamp`.
 """
 
 from __future__ import annotations
 
+import io
 import json
+import os
 import warnings
+import zipfile
 from dataclasses import dataclass, field
 from pathlib import Path
 
 import numpy as np
 
 from ..layout.layout import Layout
-from ..nn.serial import load_module, save_module
+from ..nn.modules import Module
+from ..nn.serial import load_module
 from ..nn.unet import UNet
 from .extraction import NUM_FEATURE_CHANNELS
 from .network import CmpNeuralNetwork, HeightNormalizer
 
 
+def _atomic_write_bytes(path: Path, data: bytes) -> None:
+    """Write ``data`` to ``path`` so readers see old-or-new, never torn.
+
+    The temp file lives in the destination directory (``os.replace`` is
+    only atomic within one filesystem) and is fsync'd before the rename,
+    so even a crash mid-write leaves either the previous file or the
+    complete new one.
+    """
+    tmp = path.with_name(f".{path.name}.tmp{os.getpid()}")
+    try:
+        with open(tmp, "wb") as fh:
+            fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():
+            tmp.unlink()
+
+
+def _module_npz_bytes(module: Module) -> bytes:
+    """A module state dict as deterministic ``.npz`` bytes.
+
+    ``np.savez`` stamps each zip member with the current wall-clock time,
+    which breaks byte-identical checkpoints; this writer pins the member
+    timestamps (and stores uncompressed, as ``np.savez`` does) so the
+    bytes are a pure function of the weights.  ``np.load`` reads it back
+    exactly like ``np.savez`` output.
+    """
+    state = module.state_dict()
+    buffer = io.BytesIO()
+    with zipfile.ZipFile(buffer, "w", zipfile.ZIP_STORED) as archive:
+        for key, value in state.items():
+            payload = io.BytesIO()
+            np.lib.format.write_array(payload, np.asarray(value),
+                                      allow_pickle=False)
+            info = zipfile.ZipInfo(key + ".npy",
+                                   date_time=(1980, 1, 1, 0, 0, 0))
+            archive.writestr(info, payload.getvalue())
+    return buffer.getvalue()
+
+
+def checkpoint_stamp(directory: str | Path) -> tuple:
+    """Content stamp of a checkpoint directory: (mtime_ns, size) per file.
+
+    The serve registry keys binding caches on this (like the PR 6 layout
+    LRU), so a checkpoint overwritten in place is never served stale.
+    """
+    directory = Path(directory)
+    stamp = []
+    for name in ("surrogate.json", "unet.npz"):
+        stat = (directory / name).stat()
+        stamp.append((name, stat.st_mtime_ns, stat.st_size))
+    return tuple(stamp)
+
+
+def read_checkpoint_meta(directory: str | Path) -> dict:
+    """The ``surrogate.json`` metadata alone (no weight load).
+
+    Lets the shard router learn a checkpoint's generation without paying
+    a full warm load in the front-end process.
+    """
+    return json.loads((Path(directory) / "surrogate.json").read_text())
+
+
 def save_surrogate(directory: str | Path, unet: UNet,
                    normalizer: HeightNormalizer,
                    base_channels: int, depth: int,
-                   batch_norm: bool = True) -> Path:
+                   batch_norm: bool = True,
+                   extra_meta: dict | None = None) -> Path:
     """Write UNet weights + metadata into ``directory``.
 
     Returns the directory path.  Layout binding is *not* stored — a saved
     surrogate can be re-bound to any layout of the same process.
+    ``extra_meta`` entries (e.g. the lifecycle's ``generation`` tag) are
+    merged into ``surrogate.json``; both files are written atomically
+    (temp + fsync + rename) with deterministic bytes.
     """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
-    save_module(unet, directory / "unet.npz")
     meta = {
         "normalizer": normalizer.to_dict(),
         "arch": {
@@ -50,7 +132,18 @@ def save_surrogate(directory: str | Path, unet: UNet,
         },
         "numpy": np.__version__,
     }
-    (directory / "surrogate.json").write_text(json.dumps(meta, indent=2))
+    if extra_meta:
+        for key, value in extra_meta.items():
+            if key in meta:
+                raise ValueError(
+                    f"extra_meta may not override reserved key {key!r}")
+            meta[key] = value
+    # Weights land first, metadata last: surrogate.json is the marker a
+    # loader checks, so it must never describe weights that are not
+    # fully on disk yet.
+    _atomic_write_bytes(directory / "unet.npz", _module_npz_bytes(unet))
+    _atomic_write_bytes(directory / "surrogate.json",
+                        json.dumps(meta, indent=2).encode())
     return directory
 
 

@@ -1,0 +1,294 @@
+"""Drift monitor unit tests: sampling, residuals, windowed hysteresis.
+
+All fast: the "simulator" and "network" are tiny fakes, so these cover
+the control logic (deterministic sampling, bounded backlog, trip-once
+hysteresis) without ever touching the real CMP physics.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.layout.designs import DESIGN_BUILDERS
+from repro.lifecycle import (
+    DriftWindow,
+    OffenderSample,
+    ResidualRecord,
+    ShadowExecutor,
+    residual_stats,
+)
+
+
+class FakeSimResult:
+    def __init__(self, height):
+        self.height = height
+
+
+class FakeSimulator:
+    """Returns a constant height map; records every call."""
+
+    def __init__(self, height):
+        self.height = np.asarray(height, dtype=float)
+        self.calls = []
+
+    def simulate_layout(self, layout, fill=None):
+        self.calls.append((layout, fill))
+        return FakeSimResult(self.height)
+
+
+class FakeNetwork:
+    def __init__(self, height):
+        self.height = np.asarray(height, dtype=float)
+
+    def predict_heights(self, fill):
+        return self.height
+
+
+class CountingStats:
+    def __init__(self):
+        self.counters = {}
+        self.gauges = {}
+
+    def incr(self, name, value=1):
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def set_gauge(self, name, value):
+        self.gauges[name] = value
+
+
+@pytest.fixture(scope="module")
+def layout():
+    return DESIGN_BUILDERS["A"](rows=6, cols=6, seed=1)
+
+
+def record(model="m", rmse=0.0, generation=1, sample=None, job_id="j"):
+    return ResidualRecord(job_id=job_id, model=model, generation=generation,
+                          rmse=rmse, max_abs=rmse, sample=sample)
+
+
+class TestResidualStats:
+    def test_zero_for_identical(self):
+        heights = np.arange(12.0).reshape(3, 4)
+        assert residual_stats(heights, heights) == (0.0, 0.0)
+
+    def test_known_values(self):
+        a = np.zeros((2, 2))
+        b = np.array([[3.0, 0.0], [0.0, 4.0]])
+        rmse, max_abs = residual_stats(a, b)
+        assert rmse == pytest.approx(np.sqrt(25.0 / 4.0))
+        assert max_abs == 4.0
+
+
+class TestWireRoundTrip:
+    def test_offender_sample(self, layout):
+        from repro.layout.io import layout_to_dict
+        sample = OffenderSample(
+            job_id="j1", model="m", generation=3,
+            layout=layout_to_dict(layout),
+            fill=np.ones((2, 6, 6)), sim_heights=np.zeros((6, 6)),
+            rmse=12.5)
+        back = OffenderSample.from_wire(sample.to_wire())
+        assert back.job_id == "j1" and back.generation == 3
+        assert np.array_equal(back.fill, sample.fill)
+        bound = back.bind_layout()
+        assert bound.grid.rows == 6 and bound.grid.cols == 6
+
+    def test_residual_record_without_sample(self):
+        rec = record(rmse=7.0)
+        wire = rec.to_wire()
+        assert "sample" not in wire
+        back = ResidualRecord.from_wire(wire)
+        assert back.rmse == 7.0 and back.sample is None
+
+
+class TestShadowExecutor:
+    def _drain(self, shadow, sink, expect, timeout=10.0):
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if len(sink) >= expect and shadow.pending() == 0:
+                return
+            time.sleep(0.01)
+        raise AssertionError(f"only {len(sink)}/{expect} records arrived")
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            ShadowExecutor(FakeSimulator(np.zeros((2, 2))), 0.0, 1.0,
+                           lambda r: None)
+        with pytest.raises(ValueError):
+            ShadowExecutor(FakeSimulator(np.zeros((2, 2))), 1.5, 1.0,
+                           lambda r: None)
+        with pytest.raises(ValueError):
+            ShadowExecutor(FakeSimulator(np.zeros((2, 2))), 0.5, 0.0,
+                           lambda r: None)
+
+    def test_deterministic_sampling_half_rate(self, layout):
+        sink = []
+        heights = np.zeros((6, 6))
+        shadow = ShadowExecutor(FakeSimulator(heights), 0.5, 10.0,
+                                sink.append)
+        try:
+            sampled = sum(
+                shadow.submit(job_id=f"j{i}", model="m", generation=1,
+                              layout=layout, fill=np.zeros((2, 6, 6)),
+                              network=FakeNetwork(heights))
+                for i in range(10))
+            assert sampled == 5  # floor-counter sampling, no RNG
+            self._drain(shadow, sink, 5)
+        finally:
+            shadow.close()
+
+    def test_full_rate_emits_residual_and_offender(self, layout):
+        sink = []
+        sim = FakeSimulator(np.zeros((6, 6)))
+        shadow = ShadowExecutor(sim, 1.0, drift_bound=5.0, sink=sink.append)
+        try:
+            shadow.submit(job_id="ok", model="m", generation=2,
+                          layout=layout, fill=np.zeros((2, 6, 6)),
+                          network=FakeNetwork(np.full((6, 6), 1.0)))
+            shadow.submit(job_id="bad", model="m", generation=2,
+                          layout=layout, fill=np.ones((2, 6, 6)),
+                          network=FakeNetwork(np.full((6, 6), 100.0)))
+            self._drain(shadow, sink, 2)
+        finally:
+            shadow.close()
+        by_id = {r.job_id: r for r in sink}
+        assert by_id["ok"].rmse == pytest.approx(1.0)
+        assert by_id["ok"].sample is None  # inside the bound
+        offender = by_id["bad"]
+        assert offender.rmse == pytest.approx(100.0)
+        assert offender.sample is not None
+        assert offender.sample.generation == 2
+        assert np.array_equal(offender.sample.fill, np.ones((2, 6, 6)))
+        assert np.array_equal(offender.sample.sim_heights, np.zeros((6, 6)))
+
+    def test_backlog_drops_instead_of_blocking(self, layout):
+        release = threading.Event()
+
+        class SlowSimulator(FakeSimulator):
+            def simulate_layout(self, layout, fill=None):
+                release.wait(10.0)
+                return super().simulate_layout(layout, fill)
+
+        stats = CountingStats()
+        shadow = ShadowExecutor(SlowSimulator(np.zeros((6, 6))), 1.0, 5.0,
+                                lambda r: None, stats=stats, max_queue=2)
+        try:
+            results = [
+                shadow.submit(job_id=f"j{i}", model="m", generation=1,
+                              layout=layout, fill=np.zeros((2, 6, 6)),
+                              network=FakeNetwork(np.zeros((6, 6))))
+                for i in range(6)
+            ]
+            # First fills the worker + queue; later submits are dropped.
+            assert not all(results)
+            assert stats.counters.get("lifecycle.shadow_dropped", 0) >= 1
+        finally:
+            release.set()
+            shadow.close()
+
+    def test_simulator_error_is_counted_not_fatal(self, layout):
+        class BrokenSimulator:
+            def simulate_layout(self, layout, fill=None):
+                raise RuntimeError("boom")
+
+        stats = CountingStats()
+        sink = []
+        shadow = ShadowExecutor(BrokenSimulator(), 1.0, 5.0, sink.append,
+                                stats=stats)
+        try:
+            shadow.submit(job_id="j", model="m", generation=1, layout=layout,
+                          fill=np.zeros((2, 6, 6)),
+                          network=FakeNetwork(np.zeros((6, 6))))
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline \
+                    and not stats.counters.get("lifecycle.shadow_errors"):
+                time.sleep(0.01)
+        finally:
+            shadow.close()
+        assert stats.counters.get("lifecycle.shadow_errors") == 1
+        assert sink == []
+
+    def test_closed_executor_refuses(self, layout):
+        shadow = ShadowExecutor(FakeSimulator(np.zeros((6, 6))), 1.0, 5.0,
+                                lambda r: None)
+        shadow.close()
+        assert shadow.submit(job_id="j", model="m", generation=1,
+                             layout=layout, fill=np.zeros((2, 6, 6)),
+                             network=FakeNetwork(np.zeros((6, 6)))) is False
+
+
+class TestDriftWindow:
+    def test_trips_after_trip_count_exceedances(self):
+        trips = []
+        window = DriftWindow(bound=10.0, window=4, trip_count=2,
+                             on_trip=lambda m, offs: trips.append((m, offs)))
+        assert window.observe(record(rmse=50.0)) is False
+        assert window.observe(record(rmse=1.0)) is False
+        assert window.observe(record(rmse=60.0)) is True
+        assert trips and trips[0][0] == "m"
+
+    def test_single_outlier_never_trips(self):
+        window = DriftWindow(bound=10.0, window=8, trip_count=3)
+        assert window.observe(record(rmse=1e6)) is False
+        for _ in range(20):
+            assert window.observe(record(rmse=0.1)) is False
+        assert window.status()["m"]["trips"] == 0
+
+    def test_hysteresis_no_retrain_storm(self):
+        trips = []
+        window = DriftWindow(bound=10.0, window=4, trip_count=2,
+                             on_trip=lambda m, offs: trips.append(m))
+        for _ in range(10):
+            window.observe(record(rmse=99.0))
+        assert trips == ["m"]  # tripped exactly once while disarmed
+        status = window.status()["m"]
+        assert status["armed"] is False
+        assert status["exceeded_total"] == 10
+
+    def test_note_swap_clears_and_rearms(self):
+        trips = []
+        window = DriftWindow(bound=10.0, window=4, trip_count=2,
+                             on_trip=lambda m, offs: trips.append(m))
+        for _ in range(3):
+            window.observe(record(rmse=99.0))
+        window.note_swap("m")
+        status = window.status()["m"]
+        assert status["armed"] is True and status["window"] == 0
+        # Old exceedances must not count toward a post-swap trip.
+        assert window.observe(record(rmse=99.0, generation=2)) is False
+        assert window.observe(record(rmse=99.0, generation=2)) is True
+        assert trips == ["m", "m"]
+
+    def test_offenders_capped_and_passed_to_trip(self, layout):
+        from repro.layout.io import layout_to_dict
+        seen = []
+        window = DriftWindow(bound=10.0, window=8, trip_count=8,
+                             on_trip=lambda m, offs: seen.extend(offs),
+                             max_offenders=3)
+        for i in range(8):
+            sample = OffenderSample(
+                job_id=f"j{i}", model="m", generation=1,
+                layout=layout_to_dict(layout), fill=np.zeros((2, 6, 6)),
+                sim_heights=np.zeros((6, 6)), rmse=99.0)
+            window.observe(record(rmse=99.0, sample=sample, job_id=f"j{i}"))
+        assert [s.job_id for s in seen] == ["j5", "j6", "j7"]
+        assert [s.job_id for s in window.offenders("m")] \
+            == ["j5", "j6", "j7"]
+
+    def test_models_tracked_independently(self):
+        window = DriftWindow(bound=10.0, window=4, trip_count=2)
+        window.observe(record(model="a", rmse=99.0))
+        window.observe(record(model="b", rmse=0.1))
+        status = window.status()
+        assert status["a"]["window_exceeded"] == 1
+        assert status["b"]["window_exceeded"] == 0
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            DriftWindow(bound=0.0)
+        with pytest.raises(ValueError):
+            DriftWindow(bound=1.0, window=0)
+        with pytest.raises(ValueError):
+            DriftWindow(bound=1.0, window=4, trip_count=5)

@@ -1,0 +1,146 @@
+"""Fleet-level lifecycle tests: swap broadcast + crash-safe generations.
+
+Kept to two scenarios to bound runtime — each boots a forked 2-shard
+fleet.  The per-shard mechanics (no-drain binding, journal tagging,
+closed retrain loop) are covered in ``test_lifecycle_serve``.
+"""
+
+import json
+import multiprocessing
+
+import pytest
+
+from repro.cmp import CmpSimulator
+from repro.layout.designs import DESIGN_BUILDERS
+from repro.layout.io import layout_to_dict
+from repro.serve import JobJournal, ServeConfig, ShardRouter
+from repro.surrogate import save_surrogate
+
+from .test_server import Collector, submit
+
+pytestmark = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="shard router tests need the fork start method",
+)
+
+
+@pytest.fixture(scope="module")
+def layout():
+    return DESIGN_BUILDERS["A"](rows=8, cols=8, seed=3)
+
+
+@pytest.fixture(scope="module")
+def checkpoints(layout, tmp_path_factory):
+    from repro.surrogate import TrainConfig, pretrain_surrogate
+    network, _, _ = pretrain_surrogate(
+        [layout], layout, sample_count=3, tile_rows=8, tile_cols=8,
+        base_channels=4, depth=1, config=TrainConfig(epochs=2, batch_size=2),
+        simulator=CmpSimulator(), seed=7)
+    root = tmp_path_factory.mktemp("fleet-ckpts")
+    gen1 = save_surrogate(root / "gen1", network.unet, network.normalizer,
+                          base_channels=4, depth=1)
+    gen2 = save_surrogate(root / "gen2", network.unet, network.normalizer,
+                          base_channels=4, depth=1,
+                          extra_meta={"generation": 2})
+    return str(gen1), str(gen2)
+
+
+def fill_params(layout_dict, **extra):
+    params = {"layout": layout_dict, "method": "neurfill-pkb", "model": "m",
+              "seed": 0, "max_evaluations": 40, "top_k": 1, "score": False}
+    params.update(extra)
+    return params
+
+
+class TestFleetSwapBroadcast:
+    def test_swap_reaches_every_shard(self, layout, checkpoints, tmp_path):
+        gen1, gen2 = checkpoints
+        layout_dict = layout_to_dict(layout)
+        journal_path = tmp_path / "journal.jsonl"
+        router = ShardRouter(
+            serve_config=ServeConfig(workers=1, queue_capacity=8,
+                                     max_batch=1, shards=2),
+            journal_path=str(journal_path),
+            model_specs=[("m", gen1)])
+        router.start()
+        try:
+            collector = Collector()
+            submit(router, collector, "j1", params=fill_params(layout_dict))
+            first = collector.wait_for("j1", "done", timeout=120.0)
+            assert first["result"]["generation"] == 1
+
+            submit(router, collector, "sw", op="swap",
+                   params={"model": "m", "directory": gen2})
+            reply = collector.wait_for("sw", "done", timeout=60.0)
+            assert reply["result"]["generation"] == 2
+
+            # Every shard — not just j1's — must now serve generation 2.
+            submit(router, collector, "lc", op="lifecycle")
+            status = collector.wait_for("lc", "done")["result"]
+            assert status["models"]["m"]["generation"] == 2
+            assert len(status["per_shard"]) == 2
+            assert all(s["models"]["m"]["generation"] == 2
+                       for s in status["per_shard"])
+
+            submit(router, collector, "j2", params=fill_params(layout_dict))
+            second = collector.wait_for("j2", "done", timeout=120.0)
+            assert second["result"]["generation"] == 2
+
+            # Non-monotonic swap is rejected fleet-wide.
+            submit(router, collector, "sw-bad", op="swap",
+                   params={"model": "m", "directory": gen1, "generation": 2})
+            error = collector.wait_for("sw-bad", "error",
+                                       timeout=60.0)["error"]
+            assert "failed on shard(s) [0, 1]" in error
+            submit(router, collector, "lc2", op="lifecycle")
+            assert collector.wait_for(
+                "lc2", "done")["result"]["models"]["m"]["generation"] == 2
+        finally:
+            router.shutdown(timeout=60.0)
+        events = [json.loads(line)
+                  for line in journal_path.read_text().splitlines()]
+        swaps = [e for e in events if e.get("event") == "swap"]
+        assert [s["generation"] for s in swaps] == [2]
+        dones = {e["id"]: e for e in JobJournal.read_dones(journal_path)}
+        assert dones["j1"]["generation"] == 1
+        assert dones["j2"]["generation"] == 2
+
+
+class TestFleetCrashKeepsGeneration:
+    def test_full_fleet_kill_then_restart_stays_on_generation_two(
+            self, layout, checkpoints, tmp_path):
+        """A power-loss restart must not roll the fleet back to the boot
+        checkpoint: lifecycle state restores generation 2 everywhere."""
+        gen1, gen2 = checkpoints
+        layout_dict = layout_to_dict(layout)
+        journal_path = str(tmp_path / "journal.jsonl")
+        config = ServeConfig(workers=1, queue_capacity=8, max_batch=1,
+                             shards=2, shadow_sample_rate=1.0,
+                             drift_bound=1e9,
+                             lifecycle_dir=str(tmp_path / "lifecycle"))
+        first = ShardRouter(serve_config=config, journal_path=journal_path,
+                            model_specs=[("m", gen1)])
+        first.start()
+        try:
+            collector = Collector()
+            submit(first, collector, "j1", params=fill_params(layout_dict))
+            assert collector.wait_for(
+                "j1", "done", timeout=120.0)["result"]["generation"] == 1
+            assert first.swap_model("m", gen2) == 2
+        finally:
+            first.kill()  # power loss: no drain, no clean shutdown
+
+        second = ShardRouter(serve_config=config, journal_path=journal_path,
+                             model_specs=[("m", gen1)])
+        # Restore already ran in __init__: boot specs carry generation 2.
+        assert ("m", gen2, 2) in second.model_specs
+        second.start()
+        try:
+            assert second.lifecycle_status()["models"]["m"]["generation"] \
+                == 2
+            collector = Collector()
+            submit(second, collector, "j2", params=fill_params(layout_dict))
+            done = collector.wait_for("j2", "done", timeout=120.0)
+            assert done["result"]["generation"] == 2
+        finally:
+            second.shutdown(timeout=60.0)

@@ -109,3 +109,119 @@ class TestBinding:
         fill = 0.25 * small_layout.slack_stack()
         np.testing.assert_array_equal(bound.predict_heights(fill),
                                       direct.predict_heights(fill))
+
+
+class TestStampInvalidation:
+    """Binding must key on checkpoint *content*, not path alone.
+
+    Regression: the pre-lifecycle registry cached bound networks by
+    (model, fingerprint) only, so a checkpoint overwritten in place at
+    the same path kept serving the stale warm copy forever.
+    """
+
+    def _altered_copy(self, trained_surrogate, directory):
+        """Save a same-arch checkpoint with visibly different weights."""
+        import copy
+
+        net = trained_surrogate
+        unet = copy.deepcopy(net.unet)
+        state = unet.state_dict()
+        first = sorted(state)[0]
+        state[first] = np.asarray(state[first]) + 0.5
+        unet.load_state_dict(state)
+        return save_surrogate(directory, unet, net.normalizer,
+                              base_channels=6, depth=2)
+
+    def test_in_place_overwrite_is_rebound(self, trained_surrogate,
+                                           checkpoint, tmp_path):
+        import os
+        import shutil
+
+        registry = ModelRegistry()
+        registry.register("pkb", checkpoint)
+        layout = make_design_a(rows=8, cols=8)
+        fill = 0.25 * layout.slack_stack()
+        before = registry.network_for("pkb", layout).predict_heights(fill)
+
+        altered = self._altered_copy(trained_surrogate, tmp_path / "v2")
+        for name in ("surrogate.json", "unet.npz"):
+            shutil.copy2(altered / name, os.path.join(checkpoint, name))
+            # mtime_ns must actually differ for the stamp to change even
+            # on coarse-mtime filesystems.
+            stat = os.stat(os.path.join(checkpoint, name))
+            os.utime(os.path.join(checkpoint, name),
+                     ns=(stat.st_atime_ns, stat.st_mtime_ns + 1_000_000))
+
+        after = registry.network_for("pkb", layout).predict_heights(fill)
+        assert not np.array_equal(before, after), \
+            "overwritten checkpoint was served stale"
+
+    def test_unchanged_checkpoint_stays_cached(self, checkpoint):
+        registry = ModelRegistry()
+        registry.register("pkb", checkpoint)
+        layout = make_design_a(rows=8, cols=8)
+        assert registry.network_for("pkb", layout) \
+            is registry.network_for("pkb", layout)
+
+
+class TestGenerationSwap:
+    @pytest.fixture()
+    def second_checkpoint(self, trained_surrogate, tmp_path):
+        net = trained_surrogate
+        return str(save_surrogate(tmp_path / "gen2", net.unet,
+                                  net.normalizer, base_channels=6, depth=2,
+                                  extra_meta={"generation": 2}))
+
+    def test_register_defaults_to_generation_one(self, checkpoint):
+        registry = ModelRegistry()
+        assert registry.register("pkb", checkpoint).generation == 1
+        assert registry.generation_of("pkb") == 1
+
+    def test_register_reads_generation_from_metadata(self,
+                                                     second_checkpoint):
+        registry = ModelRegistry()
+        assert registry.register("pkb", second_checkpoint).generation == 2
+
+    def test_swap_rebinds_without_drain(self, checkpoint,
+                                        second_checkpoint):
+        registry = ModelRegistry()
+        registry.register("pkb", checkpoint)
+        layout = make_design_a(rows=8, cols=8)
+        old_network, old_model = registry.bind("pkb", layout)
+        swapped = registry.swap("pkb", second_checkpoint)
+        assert swapped.generation == 2
+        new_network, new_model = registry.bind("pkb", layout)
+        # The old binding object is still fully usable (in-flight jobs
+        # holding it finish on generation 1)...
+        assert old_model.generation == 1
+        old_network.predict_heights(0.25 * layout.slack_stack())
+        # ...while new binds see generation 2.
+        assert new_model.generation == 2
+        assert new_network is not old_network
+
+    def test_swap_generation_must_increase(self, checkpoint,
+                                           second_checkpoint):
+        registry = ModelRegistry()
+        registry.register("pkb", second_checkpoint)  # already generation 2
+        with pytest.raises(ValueError, match="must increase"):
+            registry.swap("pkb", checkpoint, generation=2)
+        with pytest.raises(ValueError, match="must increase"):
+            registry.swap("pkb", checkpoint, generation=1)
+
+    def test_swap_unknown_model_raises(self, checkpoint):
+        registry = ModelRegistry()
+        with pytest.raises(KeyError, match="register it first"):
+            registry.swap("ghost", checkpoint)
+
+    def test_swap_defaults_to_increment(self, checkpoint):
+        registry = ModelRegistry()
+        registry.register("pkb", checkpoint)
+        assert registry.swap("pkb", checkpoint).generation == 2
+        assert registry.swap("pkb", checkpoint).generation == 3
+
+    def test_describe_reports_generation(self, checkpoint,
+                                         second_checkpoint):
+        registry = ModelRegistry()
+        registry.register("pkb", checkpoint)
+        registry.swap("pkb", second_checkpoint)
+        assert registry.describe()["pkb"]["generation"] == 2

@@ -136,3 +136,79 @@ class TestBundleSplit:
         fill = 0.3 * small_layout.slack_stack()
         np.testing.assert_array_equal(
             via_bundle.predict_heights(fill), direct.predict_heights(fill))
+
+
+class TestAtomicWrites:
+    """Crash-safety and byte-determinism of checkpoint persistence."""
+
+    def test_overwrite_crash_leaves_old_checkpoint_intact(
+            self, trained_surrogate, tmp_path, small_layout, monkeypatch):
+        """A crash between temp write and rename never tears a file."""
+        import os as os_module
+
+        from repro.surrogate import persist as persist_module
+
+        net = trained_surrogate
+        directory = save_surrogate(tmp_path / "ckpt", net.unet,
+                                   net.normalizer, base_channels=6, depth=2)
+        before = {name: (directory / name).read_bytes()
+                  for name in ("surrogate.json", "unet.npz")}
+
+        real_replace = os_module.replace
+
+        def crash_replace(src, dst):
+            raise OSError("simulated crash before rename")
+
+        monkeypatch.setattr(persist_module.os, "replace", crash_replace)
+        with pytest.raises(OSError, match="simulated crash"):
+            save_surrogate(directory, net.unet, net.normalizer,
+                           base_channels=6, depth=2,
+                           extra_meta={"generation": 2})
+        monkeypatch.setattr(persist_module.os, "replace", real_replace)
+
+        # Old bytes untouched, no temp litter, checkpoint still loads.
+        for name, payload in before.items():
+            assert (directory / name).read_bytes() == payload
+        assert sorted(p.name for p in directory.iterdir()) \
+            == ["surrogate.json", "unet.npz"]
+        load_surrogate(directory, small_layout)
+
+    def test_weights_land_before_metadata(self, trained_surrogate,
+                                          tmp_path, monkeypatch):
+        """surrogate.json is written last — it is the completion marker."""
+        from repro.surrogate import persist as persist_module
+
+        order = []
+        real_write = persist_module._atomic_write_bytes
+
+        def spy(path, data):
+            order.append(path.name)
+            real_write(path, data)
+
+        monkeypatch.setattr(persist_module, "_atomic_write_bytes", spy)
+        net = trained_surrogate
+        save_surrogate(tmp_path / "ckpt", net.unet, net.normalizer,
+                       base_channels=6, depth=2)
+        assert order == ["unet.npz", "surrogate.json"]
+
+    def test_deterministic_bytes_across_saves(self, trained_surrogate,
+                                              tmp_path):
+        """Same weights always serialize to identical bytes (no zip
+        wall-clock timestamps), which the lifecycle's byte-identical
+        retrain guarantee builds on."""
+        net = trained_surrogate
+        a = save_surrogate(tmp_path / "a", net.unet, net.normalizer,
+                           base_channels=6, depth=2)
+        b = save_surrogate(tmp_path / "b", net.unet, net.normalizer,
+                           base_channels=6, depth=2)
+        assert (a / "unet.npz").read_bytes() == (b / "unet.npz").read_bytes()
+        assert (a / "surrogate.json").read_bytes() \
+            == (b / "surrogate.json").read_bytes()
+
+    def test_extra_meta_cannot_shadow_reserved_keys(self, trained_surrogate,
+                                                    tmp_path):
+        net = trained_surrogate
+        with pytest.raises(ValueError, match="reserved"):
+            save_surrogate(tmp_path / "ckpt", net.unet, net.normalizer,
+                           base_channels=6, depth=2,
+                           extra_meta={"arch": {}})

@@ -1,0 +1,227 @@
+"""Benchmark: incremental ECO refill vs. full refill, by edit size.
+
+Reproduces the headline claim of the incremental-refill PR: after an
+engineering change order (ECO) edits a small part of an already-solved
+layout, ``eco_refill`` re-synthesises only the dirty window halo and is
+therefore much faster than re-running the full MSP-SQP flow — while
+staying *bitwise identical* to the parent solution outside the halo.
+
+Protocol (design A, fixed seeds, so runs are reproducible):
+
+1. Solve the parent layout once with the full ``neurfill-pkb`` flow.
+2. For each scripted edit (one window, ~1 % area, ~5 % area, plus a
+   slack-opening "hard" edit and the empty edit):
+
+   * run a **full refill** of the edited layout from scratch — the
+     honest baseline, including PKB candidate search;
+   * run ``eco_refill`` against the parent solution;
+   * assert the ECO fill is bitwise equal to the parent outside the
+     dirty halo (recomputed independently here via ``diff_layouts`` +
+     ``dilate_mask``).
+
+Surrogate weights are random (``bench_serve`` idiom): wall-clock cost
+of a forward/backward pass does not depend on the weights, and the
+exactness guarantee is weight-independent, so nothing is trained.
+
+Acceptance gate (full mode only): the ≤5 %-area standard edit must be
+**≥5× faster** than its full refill.  Smoke mode (set
+``NEURFILL_BENCH_SMOKE=1``) shrinks the grid so the whole file runs in
+seconds; the gate is recorded but not enforced there, because on a tiny
+grid the receptive-field halo covers most of the chip and locality
+cannot pay off.
+
+Writes ``BENCH_eco.json`` at the repo root.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from _common import write_output
+from repro.core import FillProblem, NeurFill, ScoreCoefficients, eco_refill
+from repro.cmp import CmpSimulator
+from repro.layout import diff_layouts, dilate_mask, edit_layout
+from repro.layout.designs import DESIGN_BUILDERS
+from repro.nn import UNet
+from repro.optimize import SqpOptimizer
+from repro.surrogate import NUM_FEATURE_CHANNELS, HeightNormalizer
+from repro.surrogate.network import CmpNeuralNetwork
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+JSON_PATH = REPO_ROOT / "BENCH_eco.json"
+
+SMOKE = os.environ.get("NEURFILL_BENCH_SMOKE", "0") not in ("0", "")
+
+GRID = 32 if SMOKE else 160
+SEED = 3
+BASE_CHANNELS = 4
+DEPTH = 1  # receptive halo 10 windows; locality pays off at bench grids
+COUPLING_RADIUS = 0
+MIN_SPEEDUP_5PCT = 5.0
+OPTIMIZER = dict(max_iter=80, tol=1e-9)  # same budget as serve/CLI
+
+
+def bind_network(layout) -> CmpNeuralNetwork:
+    unet = UNet(NUM_FEATURE_CHANNELS, 1, base_channels=BASE_CHANNELS,
+                depth=DEPTH, rng=0)
+    return CmpNeuralNetwork(layout, unet, HeightNormalizer(6000.0, 40.0))
+
+
+def full_refill(layout, simulator):
+    """Full from-scratch flow on ``layout`` (calibrate + PKB + SQP)."""
+    coefficients = ScoreCoefficients.calibrated(
+        layout, simulator, beta_runtime=60.0)
+    problem = FillProblem(layout, coefficients)
+    network = bind_network(layout)
+    start = time.perf_counter()
+    result = NeurFill(problem, network,
+                      optimizer=SqpOptimizer(**OPTIMIZER)).run("neurfill-pkb")
+    return result, time.perf_counter() - start, problem, network
+
+
+def edit_cases(grid: int) -> list[dict]:
+    """Scripted edits, smallest first.  Block side ~ sqrt(area fraction)."""
+    side_1pct = max(2, int(round(grid * 0.01 ** 0.5)))
+    side_5pct = max(3, int(round(grid * 0.05 ** 0.5)))
+    r0 = grid // 3
+    cases = [
+        dict(name="empty", layer=1, rows=None, cols=None),
+        dict(name="1-window", layer=1,
+             rows=(grid // 2, grid // 2 + 1), cols=(grid // 2, grid // 2 + 1)),
+        dict(name="1pct", layer=1,
+             rows=(r0, r0 + side_1pct), cols=(r0, r0 + side_1pct)),
+        dict(name="5pct", layer=1,
+             rows=(r0, r0 + side_5pct), cols=(r0, r0 + side_5pct),
+             gated=True),
+    ]
+    if not SMOKE:
+        # Hard case: the edit *lowers* density with slack untouched, so
+        # the warm start is far from the new optimum and the SQP has to
+        # genuinely re-optimise the halo.  Recorded, not gated.
+        cases.append(dict(name="5pct-hard", layer=1,
+                          rows=(r0, r0 + side_5pct),
+                          cols=(r0, r0 + side_5pct),
+                          density_delta=-0.08, slack_scale=1.0))
+    return cases
+
+
+def main() -> None:
+    simulator = CmpSimulator()
+    layout = DESIGN_BUILDERS["A"](rows=GRID, cols=GRID, seed=SEED)
+
+    print(f"bench_eco: design A {GRID}x{GRID} "
+          f"(smoke={SMOKE}), depth={DEPTH} surrogate")
+    parent, t_parent, _, parent_net = full_refill(layout, simulator)
+    rf_halo = parent_net.receptive_halo()
+    print(f"parent solve: {t_parent:.2f}s, {parent.evaluations} evals, "
+          f"quality {parent.quality:.6f}")
+
+    rows = []
+    for case in edit_cases(GRID):
+        if case["rows"] is None:
+            edited = layout
+        else:
+            edited = edit_layout(
+                layout, case["layer"],
+                slice(*case["rows"]), slice(*case["cols"]),
+                density_delta=case.get("density_delta", 0.05),
+                slack_scale=case.get("slack_scale", 0.5),
+                name_suffix=f"-eco-{case['name']}")
+
+        diff = diff_layouts(layout, edited)
+        free2d = dilate_mask(diff.dirty, rf_halo + COUPLING_RADIUS)
+
+        # Honest baseline: full refill of the *edited* layout.
+        full, t_full, problem, network = full_refill(edited, simulator)
+
+        start = time.perf_counter()
+        eco = eco_refill(problem, network, layout, parent,
+                         optimizer=SqpOptimizer(**OPTIMIZER),
+                         coupling_radius=COUPLING_RADIUS)
+        t_eco = time.perf_counter() - start
+        extras = eco.extras["eco"]
+
+        frozen = ~free2d
+        bitwise = bool(np.array_equal(eco.fill[:, frozen],
+                                      parent.fill[:, frozen]))
+        if not bitwise:
+            raise AssertionError(
+                f"{case['name']}: ECO fill differs from the parent outside "
+                "the dirty halo — the exactness guarantee is broken")
+
+        speedup = (t_full / t_eco) if t_eco > 0 else float("inf")
+        rows.append({
+            "name": case["name"],
+            "gated": bool(case.get("gated", False)),
+            "edit_windows": int(diff.num_dirty),
+            "edit_fraction": float(diff.dirty_fraction),
+            "free_windows": int(extras.get("free_windows", 0)),
+            "cache_hit": bool(extras["cache_hit"]),
+            "t_full_s": t_full,
+            "t_eco_s": t_eco,
+            "speedup": speedup,
+            "evals_full": int(full.evaluations),
+            "evals_eco": int(eco.evaluations),
+            "sqp_iterations": int(extras.get("sqp_iterations", 0)),
+            "quality_full": float(full.quality),
+            "quality_eco": float(eco.quality),
+            "crop": extras.get("crop"),
+            "bitwise_outside_halo": bitwise,
+        })
+        print(f"  {case['name']:>9}: edit {diff.num_dirty:5d} win "
+              f"({100 * diff.dirty_fraction:5.2f}%)  "
+              f"full {t_full:6.2f}s / eco {t_eco:6.2f}s  "
+              f"speedup {speedup:6.1f}x  bitwise-outside ok")
+
+    gated = [r for r in rows if r["gated"]]
+    gate_passed = None
+    if not SMOKE:
+        gate_passed = all(r["speedup"] >= MIN_SPEEDUP_5PCT for r in gated)
+
+    report = {
+        "bench": "eco",
+        "smoke": SMOKE,
+        "design": "A",
+        "grid": [GRID, GRID],
+        "seed": SEED,
+        "surrogate": {"base_channels": BASE_CHANNELS, "depth": DEPTH,
+                      "rf_halo": int(rf_halo),
+                      "coupling_radius": COUPLING_RADIUS},
+        "optimizer": OPTIMIZER,
+        "parent": {"t_s": t_parent, "evaluations": int(parent.evaluations),
+                   "quality": float(parent.quality)},
+        "rows": rows,
+        "gate": {"min_speedup_5pct": MIN_SPEEDUP_5PCT,
+                 "enforced": not SMOKE, "passed": gate_passed},
+    }
+    JSON_PATH.write_text(json.dumps(report, indent=2) + "\n")
+
+    lines = [f"ECO bench (design A {GRID}x{GRID}, smoke={SMOKE})",
+             f"{'edit':>10} {'windows':>8} {'area%':>7} {'t_full':>8} "
+             f"{'t_eco':>8} {'speedup':>8} {'bitwise':>8}"]
+    for r in rows:
+        lines.append(
+            f"{r['name']:>10} {r['edit_windows']:>8} "
+            f"{100 * r['edit_fraction']:>6.2f}% {r['t_full_s']:>7.2f}s "
+            f"{r['t_eco_s']:>7.2f}s {r['speedup']:>7.1f}x "
+            f"{'ok' if r['bitwise_outside_halo'] else 'FAIL':>8}")
+    write_output("eco", "\n".join(lines))
+    print(f"wrote {JSON_PATH}")
+
+    if not SMOKE and not gate_passed:
+        worst = min((r["speedup"] for r in gated), default=float("nan"))
+        raise AssertionError(
+            f"gate failed: ≤5% edit speedup {worst:.1f}x < "
+            f"{MIN_SPEEDUP_5PCT}x")
+
+
+def test_eco_incremental():
+    """Pytest entry point (CI runs the benches through pytest)."""
+    main()
+
+
+if __name__ == "__main__":
+    main()

@@ -8,6 +8,9 @@ Subcommands cover the full flow a downstream user needs:
 * ``fill``            — synthesise dummy fill (lin / tao / neurfill-pkb /
   neurfill-mm), optionally emit dummy shapes, and print the
   simulator-judged score;
+* ``eco``             — incremental refill after a small edit: diff the
+  edited layout against the solved parent, re-optimise only the dirty
+  windows' receptive-field halo, keep the rest bit-identical;
 * ``compare``         — the Table III harness on one layout;
 * ``train-surrogate`` — pre-train a CMP surrogate and save a checkpoint;
 * ``serve``           — run the resident batching service (line-JSON over
@@ -22,6 +25,9 @@ Examples::
     python -m repro gen-design A --rows 16 --cols 16 -o a.json
     python -m repro simulate a.json
     python -m repro fill a.json --method neurfill-pkb --shapes-out fill.json
+    python -m repro fill a.json --fill-out fill.npz --model ckpt/
+    python -m repro eco a.json a_edited.json --parent-fill fill.npz \
+        --model ckpt/ --fill-out fill_eco.npz
     python -m repro train-surrogate a.json -o ckpt/
     python -m repro fill a.json --model ckpt/        # skip re-training
     python -m repro serve --pipe --model pkb=ckpt/
@@ -50,6 +56,7 @@ from .core import (
     FillProblem,
     NeurFill,
     ScoreCoefficients,
+    eco_refill,
     evaluate_solution,
     planarity_metrics,
 )
@@ -105,6 +112,24 @@ def _build_parser() -> argparse.ArgumentParser:
     fill.add_argument("--seed", type=int, default=0)
     fill.add_argument("--fill-out", help="write per-window fill areas (.npz)")
     fill.add_argument("--shapes-out", help="insert dummies and write shapes JSON")
+
+    eco = sub.add_parser(
+        "eco", help="incremental (ECO) refill of an edited layout")
+    eco.add_argument("parent_layout",
+                     help="the layout the parent solution was synthesised for")
+    eco.add_argument("edited_layout", help="the layout after the ECO edit")
+    eco.add_argument("--parent-fill", required=True, metavar="NPZ",
+                     help="parent fill areas (.npz from 'repro fill --fill-out')")
+    eco.add_argument("--model", default=None, metavar="CKPT_DIR",
+                     help="load a saved surrogate checkpoint instead of "
+                          "training one")
+    eco.add_argument("--coupling-radius", type=int, default=None,
+                     help="extra dilation beyond the receptive-field radius "
+                          "(default: the radius itself)")
+    eco.add_argument("--train-samples", type=int, default=30)
+    eco.add_argument("--train-epochs", type=int, default=20)
+    eco.add_argument("--seed", type=int, default=0)
+    eco.add_argument("--fill-out", help="write per-window fill areas (.npz)")
 
     comp = sub.add_parser("compare", help="run the Table III comparison harness")
     comp.add_argument("layout")
@@ -262,22 +287,29 @@ def _cmd_simulate(args) -> int:
     return 0
 
 
-def _make_neurfill(layout, problem, simulator, args) -> NeurFill:
+def _load_or_train_network(layout, simulator, args):
+    """A surrogate bound to ``layout``: checkpoint if given, else inline
+    training with the same knobs the serve executor uses."""
     model_dir = getattr(args, "model", None)
     if model_dir:
         network = load_surrogate(model_dir, layout)
         print(f"loaded surrogate checkpoint {model_dir}", file=sys.stderr)
-    else:
-        rows, cols = layout.grid.shape
-        print("pre-training the CMP neural network ...", file=sys.stderr)
-        network, _, report = pretrain_surrogate(
-            [layout], layout, sample_count=args.train_samples,
-            tile_rows=rows, tile_cols=cols, base_channels=8, depth=2,
-            config=TrainConfig(epochs=args.train_epochs, batch_size=8),
-            simulator=simulator, seed=args.seed if hasattr(args, "seed") else 0,
-        )
-        print(f"surrogate relative error: {report.mean_relative_error * 100:.2f}%",
-              file=sys.stderr)
+        return network
+    rows, cols = layout.grid.shape
+    print("pre-training the CMP neural network ...", file=sys.stderr)
+    network, _, report = pretrain_surrogate(
+        [layout], layout, sample_count=args.train_samples,
+        tile_rows=rows, tile_cols=cols, base_channels=8, depth=2,
+        config=TrainConfig(epochs=args.train_epochs, batch_size=8),
+        simulator=simulator, seed=args.seed if hasattr(args, "seed") else 0,
+    )
+    print(f"surrogate relative error: {report.mean_relative_error * 100:.2f}%",
+          file=sys.stderr)
+    return network
+
+
+def _make_neurfill(layout, problem, simulator, args) -> NeurFill:
+    network = _load_or_train_network(layout, simulator, args)
     return NeurFill(problem, network,
                     optimizer=SqpOptimizer(max_iter=80, tol=1e-9),
                     simulator=simulator)
@@ -314,6 +346,54 @@ def _cmd_fill(args) -> int:
         save_shapes(inserted.shapes, args.shapes_out)
         print(f"{inserted.count} dummies written to {args.shapes_out} "
               f"(quantisation error {inserted.quantisation_error:.1f} um^2)")
+    return 0
+
+
+def _cmd_eco(args) -> int:
+    parent_layout = _load_layout_arg(args.parent_layout)
+    edited_layout = _load_layout_arg(args.edited_layout)
+    fill_path = Path(args.parent_fill)
+    if not fill_path.is_file():
+        raise CliError(f"parent fill file not found: {args.parent_fill}")
+    try:
+        with np.load(fill_path) as data:
+            parent_fill = np.asarray(data["fill"], dtype=float)
+    except (KeyError, ValueError, OSError) as exc:
+        raise CliError(
+            f"{args.parent_fill} is not a fill archive "
+            f"(expected an npz with a 'fill' array): {exc}")
+    simulator = CmpSimulator()
+    problem = FillProblem(
+        edited_layout, ScoreCoefficients.calibrated(edited_layout, simulator,
+                                                    beta_runtime=60.0)
+    )
+    # The surrogate must see the edited layout's extraction constants.
+    network = _load_or_train_network(edited_layout, simulator, args)
+    try:
+        result = eco_refill(
+            problem, network, parent_layout, parent_fill,
+            optimizer=SqpOptimizer(max_iter=80, tol=1e-9),
+            coupling_radius=args.coupling_radius,
+        )
+    except ValueError as exc:
+        raise CliError(str(exc))
+    eco = result.extras.get("eco", {})
+    print(result.summary())
+    if eco.get("cache_hit"):
+        print("eco: no window changed — parent solution reused as-is")
+    else:
+        print(f"eco: dirty={eco['dirty_windows']}/{eco['total_windows']} "
+              f"windows ({eco['dirty_fraction'] * 100:.1f}%)  "
+              f"free={eco['free_windows']} ({eco['free_fraction'] * 100:.1f}%)  "
+              f"halo={eco['halo_radius']} "
+              f"(rf {eco['rf_radius']} + coupling {eco['coupling_radius']})")
+    score = evaluate_solution(problem, result.fill, result.method, simulator,
+                              runtime_s=result.runtime_s)
+    print(f"simulator verdict: dH={score.delta_h:.1f} A  "
+          f"quality={score.quality:.3f}  overall={score.overall:.3f}")
+    if args.fill_out:
+        np.savez(args.fill_out, fill=result.fill)
+        print(f"fill areas written to {args.fill_out}")
     return 0
 
 
@@ -469,6 +549,7 @@ _HANDLERS = {
     "gen-design": _cmd_gen_design,
     "simulate": _cmd_simulate,
     "fill": _cmd_fill,
+    "eco": _cmd_eco,
     "compare": _cmd_compare,
     "train-surrogate": _cmd_train_surrogate,
     "serve": _cmd_serve,

@@ -8,6 +8,7 @@ from .degradation import (
     overlay_gradient,
     overlay_gradient_paper,
 )
+from .eco import EcoQualityModel, eco_refill
 from .msp_sqp import MspSqpOutcome, QualityEvaluation, QualityModel, msp_sqp
 from .neurfill import NeurFill
 from .pkb import (
@@ -29,6 +30,7 @@ from .scoring import (
 __all__ = [
     "BYTES_PER_DUMMY",
     "DegradationBreakdown",
+    "EcoQualityModel",
     "FillProblem",
     "FillResult",
     "MspSqpOutcome",
@@ -39,6 +41,7 @@ __all__ = [
     "QualityModel",
     "ScoreCoefficients",
     "SolutionScore",
+    "eco_refill",
     "estimate_output_file_mb",
     "evaluate_solution",
     "fill_amount",

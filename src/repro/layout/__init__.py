@@ -15,6 +15,7 @@ from .designs import (
     make_design_c,
     make_two_fillable_window_layout,
 )
+from .diff import LayoutDiff, diff_layouts, dilate_mask, edit_layout
 from .fill_regions import SlackRegions, allocate_fill_by_priority, compute_slack_regions
 from .geometry import Rect, union_area
 from .grid import WindowGrid
@@ -37,6 +38,7 @@ __all__ = [
     "FeatureStack",
     "LayerWindows",
     "Layout",
+    "LayoutDiff",
     "Rect",
     "SlackRegions",
     "WindowGrid",
@@ -44,7 +46,10 @@ __all__ = [
     "apply_fill",
     "assemble_layout",
     "compute_slack_regions",
+    "diff_layouts",
+    "dilate_mask",
     "dummy_count",
+    "edit_layout",
     "generate_training_layouts",
     "layout_from_dict",
     "layout_to_dict",

@@ -1,0 +1,161 @@
+"""Layout diffing for incremental (ECO) refill.
+
+An engineering change order (ECO) edits a handful of windows of an
+already-solved layout.  :func:`diff_layouts` compares two layouts window
+by window and returns the 2-D *dirty mask* of windows whose pattern
+features changed; :func:`dilate_mask` grows that set by a Chebyshev
+radius so the incremental driver in :mod:`repro.core.eco` can bound the
+region whose heights — and therefore whose optimal fill — can differ
+from the parent solve.
+
+An ECO must preserve the window grid (same rows/cols/window size and the
+same layer count): a re-gridded layout is a new design, not an edit, and
+:func:`diff_layouts` raises on it rather than guessing a correspondence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .layout import MAX_FILL_DENSITY, LayerWindows, Layout
+
+__all__ = ["LayoutDiff", "diff_layouts", "dilate_mask", "edit_layout"]
+
+#: Per-window feature arrays compared by :func:`diff_layouts`.  Any
+#: difference in any layer marks the window dirty.
+_WINDOW_FEATURES = ("density", "slack", "wire_perimeter", "wire_width")
+
+
+@dataclass(frozen=True)
+class LayoutDiff:
+    """Window-granularity difference between a parent layout and its edit.
+
+    Attributes:
+        dirty: ``(rows, cols)`` bool mask — True where any per-window
+            feature differs in any layer.
+        changed_layers: indices of layers contributing dirty windows.
+    """
+
+    dirty: np.ndarray
+    changed_layers: tuple[int, ...]
+
+    @property
+    def is_empty(self) -> bool:
+        return not bool(self.dirty.any())
+
+    @property
+    def num_dirty(self) -> int:
+        return int(self.dirty.sum())
+
+    @property
+    def dirty_fraction(self) -> float:
+        return float(self.dirty.mean()) if self.dirty.size else 0.0
+
+    def bounding_box(self) -> tuple[int, int, int, int] | None:
+        """``(r0, r1, c0, c1)`` half-open bbox of the dirty set, or None."""
+        rows = np.flatnonzero(self.dirty.any(axis=1))
+        if rows.size == 0:
+            return None
+        cols = np.flatnonzero(self.dirty.any(axis=0))
+        return (int(rows[0]), int(rows[-1]) + 1, int(cols[0]), int(cols[-1]) + 1)
+
+
+def diff_layouts(parent: Layout, edited: Layout) -> LayoutDiff:
+    """Window-exact diff of two layouts sharing one grid.
+
+    A window is dirty when any of density/slack/wire_perimeter/wire_width
+    differs in any layer.  A changed per-layer ``trench_depth`` (a scalar
+    process fact, not a per-window feature) marks that layer's *entire*
+    grid dirty: it shifts every window's initial step height.
+
+    Raises:
+        ValueError: the two layouts differ in grid shape, window size, or
+            layer count — not a valid ECO edit.
+    """
+    if parent.grid.shape != edited.grid.shape:
+        raise ValueError(
+            f"ECO edit must preserve the window grid: parent is "
+            f"{parent.grid.shape}, edited is {edited.grid.shape}")
+    if parent.grid.window_um != edited.grid.window_um:
+        raise ValueError(
+            f"ECO edit must preserve the window size: parent is "
+            f"{parent.grid.window_um}um, edited is {edited.grid.window_um}um")
+    if parent.num_layers != edited.num_layers:
+        raise ValueError(
+            f"ECO edit must preserve the layer count: parent has "
+            f"{parent.num_layers} layers, edited has {edited.num_layers}")
+
+    dirty = np.zeros(parent.grid.shape, dtype=bool)
+    changed: list[int] = []
+    for index, (before, after) in enumerate(zip(parent.layers, edited.layers)):
+        layer_dirty = np.zeros_like(dirty)
+        for feature in _WINDOW_FEATURES:
+            layer_dirty |= getattr(before, feature) != getattr(after, feature)
+        if before.trench_depth != after.trench_depth:
+            layer_dirty[:] = True
+        if layer_dirty.any():
+            changed.append(index)
+            dirty |= layer_dirty
+    return LayoutDiff(dirty=dirty, changed_layers=tuple(changed))
+
+
+def dilate_mask(mask: np.ndarray, radius: int) -> np.ndarray:
+    """Chebyshev (square structuring element) dilation of a 2-D bool mask.
+
+    A window is set in the result iff some set window of ``mask`` lies
+    within ``radius`` in both row and column distance — exactly the
+    neighbourhood a convolutional receptive field of that radius reaches.
+    """
+    mask = np.asarray(mask, dtype=bool)
+    if mask.ndim != 2:
+        raise ValueError(f"mask must be 2-D, got shape {mask.shape}")
+    radius = int(radius)
+    if radius < 0:
+        raise ValueError(f"dilation radius must be >= 0, got {radius}")
+    out = mask.copy()
+    if radius == 0 or not out.any():
+        return out
+    # Square dilation is separable: dilate rows, then columns.
+    for axis in (0, 1):
+        src = out.copy()
+        for shift in range(1, radius + 1):
+            if axis == 0:
+                out[shift:, :] |= src[:-shift, :]
+                out[:-shift, :] |= src[shift:, :]
+            else:
+                out[:, shift:] |= src[:, :-shift]
+                out[:, :-shift] |= src[:, shift:]
+    return out
+
+
+def edit_layout(layout: Layout, layer: int, rows: slice, cols: slice, *,
+                density_delta: float = 0.05, slack_scale: float = 0.5,
+                name_suffix: str = "-eco") -> Layout:
+    """Deterministic rectangular window edit (test/bench/CI helper).
+
+    Returns a deep copy of ``layout`` with ``density`` bumped by
+    ``density_delta`` (clipped to ``[0, MAX_FILL_DENSITY]``) and ``slack``
+    scaled by ``slack_scale`` inside ``[rows, cols]`` of one layer — the
+    shape of a typical ECO: a small re-route that changes local wire
+    density and eats some fillable area.
+    """
+    if not 0 <= layer < layout.num_layers:
+        raise ValueError(f"layer {layer} out of range for {layout.num_layers} layers")
+    layers = []
+    for index, src in enumerate(layout.layers):
+        density = src.density.copy()
+        slack = src.slack.copy()
+        if index == layer:
+            density[rows, cols] = np.clip(
+                density[rows, cols] + density_delta, 0.0, MAX_FILL_DENSITY)
+            slack[rows, cols] = slack[rows, cols] * slack_scale
+        layers.append(LayerWindows(
+            name=src.name, density=density, slack=slack,
+            wire_perimeter=src.wire_perimeter.copy(),
+            wire_width=src.wire_width.copy(),
+            trench_depth=src.trench_depth))
+    return Layout(
+        name=layout.name + name_suffix, grid=layout.grid, layers=layers,
+        file_size_mb=layout.file_size_mb, metadata=dict(layout.metadata))

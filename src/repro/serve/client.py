@@ -207,6 +207,18 @@ class ServeClient:
         return self.call("fill", params, priority=priority,
                          timeout_s=timeout_s, timeout=timeout)
 
+    def eco(self, *, priority: int = 0, timeout_s: float | None = None,
+            timeout: float | None = None, **params) -> dict:
+        """Incremental refill of an edited layout against a parent solve.
+
+        Pass the ``layout_fingerprint`` from the parent fill's done
+        payload as ``parent_fingerprint`` so the job lands on the shard/
+        worker holding the parent's cached solution, or supply
+        ``parent_fill`` + ``parent_layout`` explicitly.
+        """
+        return self.call("eco", params, priority=priority,
+                         timeout_s=timeout_s, timeout=timeout)
+
     def simulate(self, *, timeout: float | None = None, **params) -> dict:
         return self.call("simulate", params, timeout=timeout)
 

@@ -1,6 +1,6 @@
 """The job execution engine, shared by thread workers and forked workers.
 
-:class:`JobExecutor` owns everything one ``fill``/``simulate`` job needs
+:class:`JobExecutor` owns everything one ``fill``/``eco``/``simulate`` job needs
 after admission: layout loading (with an mtime-validated LRU cache),
 score-coefficient calibration (cached per layout content), surrogate
 binding through the :class:`~repro.serve.registry.ModelRegistry`, the
@@ -33,7 +33,14 @@ import numpy as np
 
 from ..baselines import cai_fill, lin_fill, tao_fill
 from ..cmp.simulator import CmpSimulator
-from ..core import FillProblem, NeurFill, ScoreCoefficients, evaluate_solution
+from ..core import (
+    FillProblem,
+    FillResult,
+    NeurFill,
+    ScoreCoefficients,
+    eco_refill,
+    evaluate_solution,
+)
 from ..core.scoring import planarity_metrics
 from ..layout.io import layout_from_dict, load_layout
 from ..layout.layout import Layout, apply_fill
@@ -66,6 +73,19 @@ def validate_job(request: Request, allow_train: bool = True) -> str | None:
                 and not allow_train:
             return ("no 'model' given and inline training is "
                     "disabled on this server")
+    if request.op == "eco":
+        if "model" not in params and not allow_train:
+            return ("no 'model' given and inline training is "
+                    "disabled on this server")
+        if not any(key in params for key in
+                   ("parent_fingerprint", "parent_fill", "parent_fill_path")):
+            return ("eco params need 'parent_fingerprint' (a cached parent "
+                    "solution) or an explicit 'parent_fill'/'parent_fill_path'")
+        if ("parent_fill" in params or "parent_fill_path" in params) \
+                and "parent_layout" not in params \
+                and "parent_layout_path" not in params:
+            return ("an explicit parent fill needs 'parent_layout' or "
+                    "'parent_layout_path' to diff against")
     return None
 
 
@@ -122,6 +142,11 @@ class JobExecutor:
             OrderedDict()
         self._sim_batcher = SimulateBatcher(
             max_batch=max_batch, max_delay_s=flush_ms / 1e3, stats=stats)
+        # Parent solutions for incremental (eco) jobs, keyed by layout
+        # fingerprint: every completed fill/eco deposits its result here
+        # so a later edit of that layout can warm-start from it.
+        self._solutions: OrderedDict[str, tuple[Layout, FillResult]] = \
+            OrderedDict()
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
@@ -132,6 +157,8 @@ class JobExecutor:
         with obs_trace.span(f"serve.{request.op}", cat="serve", **attrs):
             if request.op == "simulate":
                 return self._simulate_job(request.params)
+            if request.op == "eco":
+                return self._eco_job(request.params, job_id=request.id)
             return self._fill_job(request.params, job_id=request.id)
 
     def close(self) -> None:
@@ -234,6 +261,23 @@ class JobExecutor:
             old.close()
         return coalesced, model
 
+    def _remember_solution(self, fingerprint: str, layout: Layout,
+                           result: FillResult) -> None:
+        """Deposit a solved fill as a warm-start parent for eco jobs."""
+        with self._lock:
+            self._solutions[fingerprint] = (layout, result)
+            self._solutions.move_to_end(fingerprint)
+            while len(self._solutions) > 8 * self.max_bound_networks:
+                self._solutions.popitem(last=False)
+
+    def solution_for(self, fingerprint: str) -> tuple[Layout, FillResult] | None:
+        """The cached parent solution for a layout fingerprint, if any."""
+        with self._lock:
+            cached = self._solutions.get(fingerprint)
+            if cached is not None:
+                self._solutions.move_to_end(fingerprint)
+            return cached
+
     # ------------------------------------------------------------------
     # Job kinds
     # ------------------------------------------------------------------
@@ -281,9 +325,14 @@ class JobExecutor:
                 max_evaluations=int(params.get("max_evaluations", 500)),
                 top_k=int(params.get("top_k", 3)),
             )
+        self._remember_solution(fingerprint, layout, result)
         payload = {
             "method": result.method,
             "layout": layout.name,
+            # The fingerprint keys the cached solution; clients pass it
+            # back as parent_fingerprint on eco jobs, and the shard
+            # router learns cache affinity from it.
+            "layout_fingerprint": fingerprint,
             "quality": result.quality,
             "total_fill": result.total_fill,
             "runtime_s": result.runtime_s,
@@ -299,6 +348,110 @@ class JobExecutor:
                     fill=result.fill, network=network)
         if params.get("score", True):
             score = evaluate_solution(problem, result.fill, method,
+                                      self.simulator,
+                                      runtime_s=result.runtime_s)
+            payload["score"] = {
+                "delta_h": score.delta_h,
+                "quality": score.quality,
+                "overall": score.overall,
+            }
+        if params.get("return_fill"):
+            payload["fill"] = result.fill.tolist()
+        fill_out = params.get("fill_out")
+        if fill_out:
+            np.savez(fill_out, fill=result.fill)
+            payload["fill_out"] = str(fill_out)
+        return payload
+
+    def _resolve_parent(self, params: dict) -> tuple[Layout, FillResult | np.ndarray]:
+        """The parent solution an eco job warm-starts from.
+
+        Preference order: the executor's solution cache (keyed by
+        ``parent_fingerprint``), then an explicit ``parent_fill`` /
+        ``parent_fill_path`` with its parent layout.
+        """
+        fingerprint = params.get("parent_fingerprint")
+        if isinstance(fingerprint, str) and fingerprint:
+            cached = self.solution_for(fingerprint)
+            if cached is not None:
+                return cached
+        if "parent_fill" in params or "parent_fill_path" in params:
+            if "parent_layout" in params:
+                parent_layout = layout_from_dict(params["parent_layout"])
+            elif "parent_layout_path" in params:
+                parent_layout, _ = self._load_layout(
+                    {"layout_path": params["parent_layout_path"]})
+            else:
+                raise ValueError(
+                    "an explicit parent fill needs 'parent_layout' or "
+                    "'parent_layout_path' to diff against")
+            if "parent_fill" in params:
+                fill = np.asarray(params["parent_fill"], dtype=float)
+            else:
+                with np.load(params["parent_fill_path"]) as data:
+                    fill = np.asarray(data["fill"], dtype=float)
+            return parent_layout, fill
+        raise ValueError(
+            f"parent solution {fingerprint!r} is not cached on this worker; "
+            "re-run the parent fill here or pass parent_fill/parent_layout "
+            "explicitly")
+
+    def _eco_job(self, params: dict, job_id: str | None = None) -> dict:
+        layout, fingerprint = self._load_layout(params)
+        parent_layout, parent = self._resolve_parent(params)
+        problem = FillProblem(layout, self._coefficients(layout, fingerprint))
+        model_name = params.get("model")
+        bound_model = None
+        if model_name is not None:
+            # Direct (uncoalesced) binding: the eco driver evaluates
+            # through cropped region passes the micro-batcher cannot
+            # coalesce anyway.
+            network, bound_model = self.registry.bind(
+                str(model_name), layout, fingerprint)
+        else:
+            if not self.allow_train:
+                raise ValueError(
+                    "no 'model' given and inline training is disabled")
+            network, _, _ = pretrain_surrogate(
+                [layout], layout,
+                sample_count=int(params.get("train_samples", 30)),
+                tile_rows=layout.grid.rows, tile_cols=layout.grid.cols,
+                base_channels=8, depth=2,
+                config=TrainConfig(
+                    epochs=int(params.get("train_epochs", 20)),
+                    batch_size=8),
+                simulator=self.simulator,
+                seed=int(params.get("seed", 0)),
+            )
+        coupling = params.get("coupling_radius")
+        result = eco_refill(
+            problem, network, parent_layout, parent,
+            optimizer=SqpOptimizer(max_iter=80, tol=1e-9),
+            coupling_radius=None if coupling is None else int(coupling),
+        )
+        # Chained ECOs warm-start from the freshest solution of this
+        # layout content.
+        self._remember_solution(fingerprint, layout, result)
+        payload = {
+            "method": result.method,
+            "layout": layout.name,
+            "layout_fingerprint": fingerprint,
+            "quality": result.quality,
+            "total_fill": result.total_fill,
+            "runtime_s": result.runtime_s,
+            "evaluations": result.evaluations,
+            "starts": result.starts,
+            "eco": result.extras.get("eco", {}),
+        }
+        if bound_model is not None:
+            payload["generation"] = bound_model.generation
+            if self.shadow is not None:
+                self.shadow.submit(
+                    job_id=job_id or "", model=bound_model.name,
+                    generation=bound_model.generation, layout=layout,
+                    fill=result.fill, network=network)
+        if params.get("score", True):
+            score = evaluate_solution(problem, result.fill, result.method,
                                       self.simulator,
                                       runtime_s=result.runtime_s)
             payload["score"] = {

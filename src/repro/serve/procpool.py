@@ -41,6 +41,7 @@ import multiprocessing
 import os
 import threading
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from ..lifecycle.monitor import ShadowExecutor
@@ -423,6 +424,10 @@ class ProcessWorkerPool:
         self._swap_seq = 0
         #: Latest swap per model: name -> (directory, generation, seq).
         self._swaps: dict[str, tuple[str, int, int]] = {}
+        # layout_fingerprint -> worker index, learned from done payloads.
+        # Each forked child owns a *private* executor, so an eco job's
+        # cached parent solution lives in exactly one child; prefer it.
+        self._affinity: OrderedDict[str, int] = OrderedDict()
 
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -516,21 +521,49 @@ class ProcessWorkerPool:
             self.stats.incr("worker_swaps")
 
     def run(self, request: Request) -> dict:
-        """Execute ``request`` on any free worker (see handle.run)."""
-        handle = self._acquire()
+        """Execute ``request`` on a free worker (see handle.run).
+
+        ``eco`` jobs naming a ``parent_fingerprint`` wait for the worker
+        that completed that layout's fill — its private executor holds
+        the cached parent solution; any other child would reject the
+        warm-start.  Other jobs take the first free worker.
+        """
+        prefer = None
+        if request.op == "eco":
+            parent = request.params.get("parent_fingerprint")
+            if isinstance(parent, str) and parent:
+                with self._cond:
+                    prefer = self._affinity.get(parent)
+        handle = self._acquire(prefer=prefer)
         try:
-            return handle.run(request)
+            result = handle.run(request)
         except WorkerDiedError:
             self._revive(handle)
             raise
         finally:
             self._release(handle)
+        fingerprint = result.get("layout_fingerprint") \
+            if isinstance(result, dict) else None
+        if isinstance(fingerprint, str) and fingerprint:
+            with self._cond:
+                self._affinity[fingerprint] = handle.index
+                self._affinity.move_to_end(fingerprint)
+                while len(self._affinity) > 1024:
+                    self._affinity.popitem(last=False)
+        return result
 
-    def _acquire(self) -> _WorkerHandle:
+    def _acquire(self, prefer: int | None = None) -> _WorkerHandle:
         with self._cond:
             while True:
                 if self._closed:
                     raise WorkerDiedError("worker pool is closed")
+                if prefer is not None and 0 <= prefer < len(self._handles):
+                    handle = self._handles[prefer]
+                    if handle.in_use:
+                        self._cond.wait(1.0)
+                        continue
+                    handle.in_use = True
+                    break
                 for handle in self._handles:
                     if not handle.in_use:
                         handle.in_use = True
@@ -567,6 +600,12 @@ class ProcessWorkerPool:
         except WorkerDiedError:
             return  # next acquire retries; the slot stays claimable
         handle.swap_seq = target
+        with self._cond:
+            # The fresh child's executor caches are empty: any eco job
+            # routed here by stale affinity would miss its parent.
+            for fingerprint in [f for f, index in self._affinity.items()
+                                if index == handle.index]:
+                del self._affinity[fingerprint]
         if self.stats is not None:
             self.stats.incr("worker_respawns")
 

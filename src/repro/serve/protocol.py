@@ -28,7 +28,7 @@ import math
 from dataclasses import dataclass, field
 
 #: Ops that enqueue work and get an ack + a terminal response.
-JOB_OPS = frozenset({"fill", "simulate"})
+JOB_OPS = frozenset({"fill", "eco", "simulate"})
 
 #: Ops answered immediately by the transport thread.
 IMMEDIATE_OPS = frozenset({"stats", "models", "cancel", "ping", "shutdown",

@@ -37,6 +37,7 @@ import json
 import tempfile
 import threading
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 
@@ -71,7 +72,19 @@ def routing_key(params: dict) -> str:
     Inline layouts hash by canonical JSON content (same layout, same
     key, regardless of dict ordering); path jobs route by the path —
     the shard's mtime-validated layout cache handles file changes.
+
+    ``eco`` jobs carrying a ``parent_fingerprint`` route by that
+    fingerprint instead: an edited layout hashes differently from its
+    parent, so content routing would send the edit to a different shard
+    and forfeit the warm caches (parent solution, bound surrogate,
+    calibrated coefficients) held where the parent was solved.  The
+    router refines this key with its learned fingerprint->shard affinity
+    table (see :meth:`ShardRouter._shard_for`); the rendezvous hash of
+    ``fingerprint:<fp>`` is the deterministic fallback.
     """
+    parent = params.get("parent_fingerprint")
+    if isinstance(parent, str) and parent:
+        return f"fingerprint:{parent}"
     if "layout" in params:
         digest = hashlib.sha1(
             json.dumps(params["layout"], sort_keys=True,
@@ -278,6 +291,13 @@ class ShardRouter:
         ]
         self._lock = threading.Lock()
         self._entries: dict[str, _Entry] = {}
+        # Learned layout_fingerprint -> shard map, recorded from done
+        # fill/eco payloads.  The executor fingerprints the *loaded*
+        # layout (sha1 of its canonical dict) while routing_key hashes
+        # the raw request params, so the two digests never coincide —
+        # this table is how an eco job's parent_fingerprint finds the
+        # shard actually holding the parent's warm solution cache.
+        self._affinity: OrderedDict[str, int] = OrderedDict()
         self._outstanding = [0] * self.config.shards
         self._readers: list[threading.Thread] = []
         self._internal_seq = 0
@@ -423,8 +443,7 @@ class ShardRouter:
             self.stats.incr("rejected")
             reply(response(request.id, "rejected", error=error))
             return
-        shard = rendezvous_shard(routing_key(request.params),
-                                 self.config.shards)
+        shard = self._shard_for(request)
         line = encode(request.to_wire())
         with self._lock:
             if request.id in self._entries:
@@ -448,6 +467,27 @@ class ShardRouter:
                                  self._outstanding[shard])
         self.stats.incr("accepted")
         self._dispatch(request.id, entry)
+
+    def _shard_for(self, request: Request) -> int:
+        """Pick the shard for a job: learned cache affinity, then hash.
+
+        ``eco`` jobs naming a ``parent_fingerprint`` go to the shard that
+        reported solving that layout (its executor caches the parent
+        solution, bound surrogate and coefficients).  Everything else —
+        and eco jobs whose parent this router never saw complete, e.g.
+        after a restart — falls back to the deterministic rendezvous
+        hash of :func:`routing_key`.
+        """
+        if request.op == "eco":
+            parent = request.params.get("parent_fingerprint")
+            if isinstance(parent, str) and parent:
+                with self._lock:
+                    owner = self._affinity.get(parent)
+                    if owner is not None:
+                        self._affinity.move_to_end(parent)
+                        return owner
+        return rendezvous_shard(routing_key(request.params),
+                                self.config.shards)
 
     def _dispatch(self, job_id: str, entry: _Entry) -> None:
         handle = self._shards[entry.shard]
@@ -786,6 +826,14 @@ class ShardRouter:
                 self._outstanding[shard] -= 1
                 self.stats.set_gauge(f"shard{shard}.outstanding",
                                      self._outstanding[shard])
+                if status == "done":
+                    fingerprint = (message.get("result") or {}).get(
+                        "layout_fingerprint")
+                    if isinstance(fingerprint, str) and fingerprint:
+                        self._affinity[fingerprint] = shard
+                        self._affinity.move_to_end(fingerprint)
+                        while len(self._affinity) > 4096:
+                            self._affinity.popitem(last=False)
             else:
                 return
         if status in protocol.TERMINAL_STATUSES:

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..layout.layout import Layout
+from ..nn import functional as F
 from ..nn.modules import Module
 from ..nn.tensor import Tensor
 from .extraction import ExtractionConstants, extract_parameter_matrix
@@ -79,6 +80,36 @@ class BatchPlanarityEvaluation:
     gradient: np.ndarray | None  # (K, L, N, M); zero rows where masked out
 
 
+@dataclass(frozen=True)
+class EvalRegion:
+    """Rectangles driving :meth:`CmpNeuralNetwork.evaluate_region`.
+
+    ``(r0, r1, c0, c1)`` is the half-open *core*: heights are recomputed
+    there each call.  ``(sr0, sr1, sc0, sc1)`` is the halo-padded *crop*
+    actually pushed through the network; both have origins on multiples
+    of the UNet's pooling alignment so the cropped forward reproduces the
+    monolithic pooling phase.  Built by
+    :meth:`CmpNeuralNetwork.plan_region`.
+    """
+
+    r0: int
+    r1: int
+    c0: int
+    c1: int
+    sr0: int
+    sr1: int
+    sc0: int
+    sc1: int
+
+    @property
+    def core_shape(self) -> tuple[int, int]:
+        return (self.r1 - self.r0, self.c1 - self.c0)
+
+    @property
+    def crop_shape(self) -> tuple[int, int]:
+        return (self.sr1 - self.sr0, self.sc1 - self.sc0)
+
+
 class CmpNeuralNetwork:
     """End-to-end differentiable stand-in for the full-chip CMP simulator.
 
@@ -104,11 +135,55 @@ class CmpNeuralNetwork:
         self.consts = ExtractionConstants.from_layout(layout)
 
     # ------------------------------------------------------------------
+    @property
+    def grid_shape(self) -> tuple[int, int, int]:
+        """``(L, N, M)`` shape every fill must have.
+
+        The extraction constants are the single source of truth: they are
+        what the forward pass actually consumes, so a layout swapped in
+        after construction cannot silently change the expected shape.
+        """
+        return self.consts.density.shape
+
+    def _checked_fill(self, fill: np.ndarray | None) -> np.ndarray:
+        """Default + validate a single ``(L, N, M)`` fill against the
+        bound extraction constants; both the monolithic and the tiled
+        path go through here so a mismatch fails loudly in either."""
+        if fill is None:
+            return np.zeros(self.grid_shape)
+        fill = np.asarray(fill, dtype=float)
+        if fill.ndim != 3 or fill.shape != self.grid_shape:
+            raise ValueError(
+                f"fill must have layout shape {self.grid_shape}, "
+                f"got {fill.shape}"
+            )
+        return fill
+
+    def receptive_halo(self) -> int:
+        """The bound model's receptive-field radius, rounded up to its
+        pooling alignment — the halo that makes tiled/region evaluation
+        exact.
+
+        Raises:
+            ValueError: the model does not expose
+                ``receptive_field_radius``; silently assuming a zero halo
+                would void every exactness guarantee, so callers must
+                pass an explicit halo instead (and own its accuracy).
+        """
+        radius_fn = getattr(self.unet, "receptive_field_radius", None)
+        if not callable(radius_fn):
+            raise ValueError(
+                f"{type(self.unet).__name__} does not expose "
+                "receptive_field_radius(); cannot derive an exact halo. "
+                "Pass halo= explicitly — an undersized halo silently "
+                "voids the tiled-inference exactness guarantee."
+            )
+        align = int(getattr(self.unet, "alignment", 1))
+        return -(-int(radius_fn()) // align) * align
+
     def predict_heights(self, fill: np.ndarray | None = None) -> np.ndarray:
         """Forward-only height profile prediction (physical units)."""
-        if fill is None:
-            fill = np.zeros(self.layout.shape)
-        return self._forward(Tensor(fill)).data
+        return self._forward(Tensor(self._checked_fill(fill))).data
 
     def predict_heights_tiled(
         self,
@@ -145,18 +220,10 @@ class CmpNeuralNetwork:
             ``(L, N, M)`` predicted physical heights, matching
             :meth:`predict_heights` to floating-point precision.
         """
-        if fill is None:
-            fill = np.zeros(self.layout.shape)
-        fill = np.asarray(fill, dtype=float)
-        if fill.ndim != 3 or fill.shape != self.consts.density.shape:
-            raise ValueError(
-                f"fill must have layout shape {self.consts.density.shape}, "
-                f"got {fill.shape}"
-            )
+        fill = self._checked_fill(fill)
         align = int(getattr(self.unet, "alignment", 1))
         if halo is None:
-            radius = getattr(self.unet, "receptive_field_radius", lambda: 0)()
-            halo = -(-radius // align) * align
+            halo = self.receptive_halo()
         else:
             if halo < 0:
                 raise ValueError(f"halo must be >= 0, got {halo}")
@@ -184,6 +251,119 @@ class CmpNeuralNetwork:
                     :, r0 - sr0 : r1 - sr0, c0 - sc0 : c1 - sc0
                 ]
         return out
+
+    # ------------------------------------------------------------------
+    def plan_region(self, active: np.ndarray) -> EvalRegion | None:
+        """Plan the crop rectangles for :meth:`evaluate_region`.
+
+        Args:
+            active: ``(N, M)`` bool mask of windows whose fill is allowed
+                to change relative to the base fill.
+
+        Returns:
+            An :class:`EvalRegion` whose core contains every window within
+            the receptive halo of ``active`` (heights outside the core
+            provably cannot change), with both rectangles snapped outward
+            to the UNet's pooling alignment; ``None`` when ``active`` is
+            empty.
+        """
+        active = np.asarray(active, dtype=bool)
+        L, N, M = self.grid_shape
+        if active.shape != (N, M):
+            raise ValueError(
+                f"active mask must have grid shape {(N, M)}, got {active.shape}")
+        rows = np.flatnonzero(active.any(axis=1))
+        if rows.size == 0:
+            return None
+        cols = np.flatnonzero(active.any(axis=0))
+        halo = self.receptive_halo()
+        align = int(getattr(self.unet, "alignment", 1))
+        r0 = max(0, ((int(rows[0]) - halo) // align) * align)
+        r1 = min(N, -(-(int(rows[-1]) + 1 + halo) // align) * align)
+        c0 = max(0, ((int(cols[0]) - halo) // align) * align)
+        c1 = min(M, -(-(int(cols[-1]) + 1 + halo) // align) * align)
+        return EvalRegion(
+            r0=r0, r1=r1, c0=c0, c1=c1,
+            sr0=max(0, r0 - halo), sr1=min(N, r1 + halo),
+            sc0=max(0, c0 - halo), sc1=min(M, c1 + halo),
+        )
+
+    def evaluate_region(
+        self,
+        fill: np.ndarray,
+        region: EvalRegion,
+        base_heights: np.ndarray,
+        weights: PlanarityWeights,
+        want_grad: bool = True,
+    ) -> PlanarityEvaluation:
+        """Full-chip planarity score via ONE cropped network pass.
+
+        The incremental (ECO) driver freezes most of the fill vector and
+        optimises a small free region.  Heights outside ``region``'s core
+        then provably equal ``base_heights`` (the frozen windows within
+        one receptive field of them never change), so only the crop needs
+        a forward pass: the recomputed core is embedded into the constant
+        complement and the *global* planarity objective — which couples
+        every window through layer means/variances — is evaluated on the
+        composed full-chip height map.  Backward through the composition
+        yields the exact ``dS_plan/dx`` for the cropped fill entries; the
+        returned gradient is zero elsewhere (those entries are constants
+        of this evaluation).
+
+        Exactness contract: ``fill`` must agree with the fill that
+        produced ``base_heights`` (via the monolithic
+        :meth:`predict_heights`) on every window outside the core shrunk
+        by the receptive halo — :meth:`plan_region` builds a region
+        satisfying this for any fill that changes only inside its
+        ``active`` mask.  Under that contract the result matches
+        :meth:`evaluate` to floating-point round-off (same pooling phase
+        and border padding as the monolithic forward; see
+        :meth:`predict_heights_tiled`).
+
+        Args:
+            fill: full-chip fill areas ``(L, N, M)``.
+            region: rectangles from :meth:`plan_region`.
+            base_heights: monolithic heights ``(L, N, M)`` of the base
+                fill; used verbatim outside the core.
+            weights: the design's score coefficients.
+            want_grad: run backpropagation; the gradient is exact for
+                entries inside the crop and zero outside.
+        """
+        fill = self._checked_fill(fill)
+        base_heights = np.asarray(base_heights, dtype=float)
+        if base_heights.shape != fill.shape:
+            raise ValueError(
+                f"base_heights must have layout shape {fill.shape}, "
+                f"got {base_heights.shape}")
+        L, N, M = fill.shape
+        rows, cols = slice(region.sr0, region.sr1), slice(region.sc0, region.sc1)
+        x = Tensor(fill[:, rows, cols], requires_grad=want_grad)
+        matrix = extract_parameter_matrix(x, self.consts.crop(rows, cols))
+        out = self.unet(matrix)  # (L, 1, h, w) normalised
+        h, w = out.shape[2:]
+        patch = self.normalizer.denormalize(out.reshape(L, h, w))
+        # Keep the core, zero the halo ring: the ring is only context for
+        # the convolution and its heights come from base_heights instead.
+        core = np.zeros((1, h, w))
+        core[:, region.r0 - region.sr0:region.r1 - region.sr0,
+             region.c0 - region.sc0:region.c1 - region.sc0] = 1.0
+        frozen = base_heights.copy()
+        frozen[:, region.r0:region.r1, region.c0:region.c1] = 0.0
+        heights = F.pad2d(
+            patch * Tensor(core),
+            (region.sr0, N - region.sr1, region.sc0, M - region.sc1),
+        ) + Tensor(frozen)
+        s_plan, breakdown = planarity_score(heights, weights, eta=self.eta)
+        gradient = None
+        if want_grad:
+            s_plan.backward()
+            gradient = np.zeros_like(fill)
+            if x.grad is not None:
+                gradient[:, rows, cols] = x.grad
+        return PlanarityEvaluation(
+            s_plan=s_plan.item(), breakdown=breakdown,
+            heights=heights.data, gradient=gradient,
+        )
 
     def evaluate(self, fill: np.ndarray, weights: PlanarityWeights,
                  want_grad: bool = True) -> PlanarityEvaluation:

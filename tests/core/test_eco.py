@@ -1,0 +1,217 @@
+"""Tests for incremental (ECO) refill: exactness, freezing, cache hits.
+
+The networks here carry random weights: every guarantee under test
+(region-evaluation equivalence, bitwise-frozen exterior, cache-hit
+identity) is weight-independent, and random weights keep the tests fast.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cmp import CmpSimulator
+from repro.core import (
+    FillProblem,
+    FillResult,
+    ScoreCoefficients,
+    eco_refill,
+)
+from repro.core.eco import EcoQualityModel
+from repro.core.msp_sqp import QualityModel
+from repro.layout import diff_layouts, dilate_mask, edit_layout
+from repro.layout.designs import DESIGN_BUILDERS
+from repro.nn import UNet
+from repro.optimize import SqpOptimizer
+from repro.surrogate import NUM_FEATURE_CHANNELS
+from repro.surrogate.network import CmpNeuralNetwork, HeightNormalizer
+from repro.surrogate.objectives import PlanarityWeights
+
+GRID = 36
+
+
+def bind(layout) -> CmpNeuralNetwork:
+    unet = UNet(NUM_FEATURE_CHANNELS, 1, base_channels=4, depth=1, rng=0)
+    return CmpNeuralNetwork(layout, unet, HeightNormalizer(2500.0, 300.0))
+
+
+@pytest.fixture(scope="module")
+def layout():
+    return DESIGN_BUILDERS["A"](rows=GRID, cols=GRID, seed=3)
+
+
+@pytest.fixture(scope="module")
+def problem(layout):
+    coefficients = ScoreCoefficients.calibrated(
+        layout, CmpSimulator(), beta_runtime=60.0)
+    return FillProblem(layout, coefficients)
+
+
+@pytest.fixture(scope="module")
+def network(layout):
+    return bind(layout)
+
+
+@pytest.fixture(scope="module")
+def parent_fill(problem):
+    # Any feasible fill works as a parent: the guarantees are about what
+    # eco_refill does relative to it, not about its optimality.
+    rng = np.random.default_rng(7)
+    span = problem.upper - problem.lower
+    return problem.lower + 0.37 * span + 0.1 * span * rng.random(span.shape)
+
+
+@pytest.fixture(scope="module")
+def parent_result(problem, network, parent_fill):
+    ev = QualityModel(problem, network).evaluate(parent_fill, want_grad=False)
+    return FillResult(method="neurfill-pkb", fill=parent_fill.copy(),
+                      quality=ev.quality, planarity=ev.planarity,
+                      degradation=ev.degradation, evaluations=1, starts=1)
+
+
+def edited_setup(layout, block):
+    r0 = GRID // 3
+    edited = edit_layout(layout, 1, slice(r0, r0 + block),
+                         slice(r0, r0 + block))
+    coefficients = ScoreCoefficients.calibrated(
+        edited, CmpSimulator(), beta_runtime=60.0)
+    return FillProblem(edited, coefficients), bind(edited)
+
+
+class TestRegionEvaluationExactness:
+    def test_evaluate_region_matches_monolithic(self, network, problem,
+                                                parent_fill):
+        # Unsaturated weights so gradients are non-zero and the equality
+        # check is meaningful, not a trivial 0 == 0.
+        weights = PlanarityWeights(1.0, 20000.0, 1.0, 20000.0, 1.0, 20000.0)
+        active = np.zeros((GRID, GRID), dtype=bool)
+        active[12:15, 20:24] = True
+        region = network.plan_region(active)
+
+        base_heights = network.predict_heights(parent_fill)
+        trial = parent_fill.copy()
+        trial[:, 12:15, 20:24] *= 0.9
+
+        mono = network.evaluate(trial, weights, want_grad=True)
+        part = network.evaluate_region(trial, region, base_heights, weights,
+                                       want_grad=True)
+        assert part.s_plan == pytest.approx(mono.s_plan, abs=1e-9)
+        np.testing.assert_allclose(part.heights, mono.heights,
+                                   rtol=1e-9, atol=1e-6)
+        active3d = np.broadcast_to(active, trial.shape)
+        assert np.abs(mono.gradient[active3d]).max() > 0
+        np.testing.assert_allclose(part.gradient[active3d],
+                                   mono.gradient[active3d],
+                                   rtol=1e-9, atol=1e-12)
+
+    def test_eco_model_matches_quality_model_on_free_coords(
+            self, problem, network, parent_fill):
+        free = np.zeros((GRID, GRID), dtype=bool)
+        free[10:16, 10:16] = True
+        model = EcoQualityModel(problem, network, parent_fill, free)
+        trial = parent_fill.copy()
+        free3d = np.broadcast_to(free, trial.shape)
+        trial[free3d] = np.clip(trial[free3d] * 1.1,
+                                problem.lower[free3d],
+                                problem.upper[free3d])
+
+        eco_ev = model.evaluate(trial, want_grad=True)
+        mono_ev = QualityModel(problem, network).evaluate(trial,
+                                                          want_grad=True)
+        assert eco_ev.quality == pytest.approx(mono_ev.quality, abs=1e-9)
+        np.testing.assert_allclose(eco_ev.gradient[free3d],
+                                   mono_ev.gradient[free3d],
+                                   rtol=1e-9, atol=1e-12)
+        assert not eco_ev.gradient[~free3d].any()
+
+    def test_empty_free_mask_raises(self, problem, network, parent_fill):
+        with pytest.raises(ValueError, match="empty"):
+            EcoQualityModel(problem, network, parent_fill,
+                            np.zeros((GRID, GRID), dtype=bool))
+
+
+class TestEcoRefill:
+    @pytest.mark.parametrize("block", [1, 3, 6])
+    def test_bitwise_identical_outside_halo(self, layout, parent_result,
+                                            block):
+        problem2, network2 = edited_setup(layout, block)
+        result = eco_refill(problem2, network2, layout, parent_result,
+                            optimizer=SqpOptimizer(max_iter=8, tol=1e-9),
+                            coupling_radius=0)
+        assert result.method == "neurfill-eco"
+        extras = result.extras["eco"]
+        assert not extras["cache_hit"]
+        assert extras["dirty_windows"] == block * block
+        assert extras["coupling_radius"] == 0
+
+        halo = network2.receptive_halo()
+        diff = diff_layouts(layout, problem2.layout)
+        free = dilate_mask(diff.dirty, halo)
+        frozen = ~free
+        np.testing.assert_array_equal(result.fill[:, frozen],
+                                      parent_result.fill[:, frozen])
+        assert extras["free_windows"] == int(free.sum())
+        # The re-optimised region stays inside the edited problem's box.
+        free3d = np.broadcast_to(free, result.fill.shape)
+        assert np.all(result.fill[free3d] >= problem2.lower[free3d] - 1e-12)
+        assert np.all(result.fill[free3d] <= problem2.upper[free3d] + 1e-12)
+
+    def test_matches_full_refill_within_tolerance(self, layout,
+                                                  parent_result):
+        problem2, network2 = edited_setup(layout, 4)
+        optimizer = SqpOptimizer(max_iter=40, tol=1e-9)
+        eco = eco_refill(problem2, network2, layout, parent_result,
+                         optimizer=optimizer)
+
+        model = QualityModel(problem2, network2)
+        x0 = problem2.clip(parent_result.fill)
+        full = optimizer.maximize(model.value_and_grad, x0,
+                                  problem2.lower, problem2.upper,
+                                  fun_value=model.quality)
+        assert eco.quality == pytest.approx(full.value, abs=5e-3)
+
+    def test_empty_edit_is_a_pure_cache_hit(self, problem, network,
+                                            layout, parent_result):
+        result = eco_refill(problem, network, layout, parent_result)
+        extras = result.extras["eco"]
+        assert extras["cache_hit"]
+        assert result.evaluations == 0
+        assert result.starts == 0
+        assert result.method == "neurfill-eco"
+        assert result.quality == parent_result.quality
+        np.testing.assert_array_equal(result.fill, parent_result.fill)
+
+    def test_empty_edit_with_bare_array_parent(self, problem, network,
+                                               layout, parent_fill):
+        result = eco_refill(problem, network, layout, parent_fill)
+        assert result.extras["eco"]["cache_hit"]
+        # No parent quality to reuse: one monolithic evaluation scores it.
+        assert result.evaluations == 1
+        assert np.isfinite(result.quality)
+        np.testing.assert_array_equal(result.fill, parent_fill)
+
+
+class TestEcoRefillValidation:
+    def test_network_bound_to_parent_layout_raises(self, layout,
+                                                   parent_result, network):
+        problem2, _ = edited_setup(layout, 3)
+        with pytest.raises(ValueError, match="edited layout"):
+            eco_refill(problem2, network, layout, parent_result)
+
+    def test_wrong_parent_fill_shape_raises(self, layout):
+        problem2, network2 = edited_setup(layout, 3)
+        with pytest.raises(ValueError, match="parent fill shape"):
+            eco_refill(problem2, network2, layout,
+                       np.zeros((1, 4, 4)))
+
+    def test_negative_coupling_radius_raises(self, layout, parent_result):
+        problem2, network2 = edited_setup(layout, 3)
+        with pytest.raises(ValueError, match="coupling_radius"):
+            eco_refill(problem2, network2, layout, parent_result,
+                       coupling_radius=-1)
+
+    def test_regridded_layout_is_not_an_edit(self, layout, parent_result):
+        other = DESIGN_BUILDERS["A"](rows=GRID // 2, cols=GRID, seed=3)
+        coefficients = ScoreCoefficients.calibrated(
+            other, CmpSimulator(), beta_runtime=60.0)
+        problem2 = FillProblem(other, coefficients)
+        with pytest.raises(ValueError, match="window grid"):
+            eco_refill(problem2, bind(other), layout, parent_result)

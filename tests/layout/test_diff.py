@@ -1,0 +1,157 @@
+"""Tests for layout diffing and dilation (the ECO dirty-window machinery)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.layout import (
+    LayoutDiff,
+    diff_layouts,
+    dilate_mask,
+    edit_layout,
+)
+from repro.layout.designs import DESIGN_BUILDERS
+from repro.layout.layout import MAX_FILL_DENSITY, LayerWindows, Layout
+
+
+@pytest.fixture(scope="module")
+def layout():
+    return DESIGN_BUILDERS["A"](rows=10, cols=12, seed=3)
+
+
+class TestDiffLayouts:
+    def test_identical_layouts_empty_diff(self, layout):
+        diff = diff_layouts(layout, layout)
+        assert diff.is_empty
+        assert diff.num_dirty == 0
+        assert diff.dirty_fraction == 0.0
+        assert diff.changed_layers == ()
+        assert diff.bounding_box() is None
+
+    def test_edit_marks_exactly_the_edited_block(self, layout):
+        edited = edit_layout(layout, 1, slice(2, 5), slice(3, 7))
+        diff = diff_layouts(layout, edited)
+        expected = np.zeros(layout.grid.shape, dtype=bool)
+        expected[2:5, 3:7] = True
+        assert np.array_equal(diff.dirty, expected)
+        assert diff.changed_layers == (1,)
+        assert diff.num_dirty == 12
+        assert diff.bounding_box() == (2, 5, 3, 7)
+
+    def test_slack_only_edit_is_dirty(self, layout):
+        edited = edit_layout(layout, 0, slice(0, 1), slice(0, 1),
+                             density_delta=0.0, slack_scale=0.25)
+        diff = diff_layouts(layout, edited)
+        assert diff.num_dirty == 1
+        assert diff.dirty[0, 0]
+
+    def test_trench_depth_change_dirties_whole_grid(self, layout):
+        layers = [
+            LayerWindows(
+                name=src.name, density=src.density.copy(),
+                slack=src.slack.copy(),
+                wire_perimeter=src.wire_perimeter.copy(),
+                wire_width=src.wire_width.copy(),
+                trench_depth=(src.trench_depth * 1.1 if index == 0
+                              else src.trench_depth))
+            for index, src in enumerate(layout.layers)
+        ]
+        edited = Layout(name=layout.name, grid=layout.grid, layers=layers,
+                        file_size_mb=layout.file_size_mb,
+                        metadata=dict(layout.metadata))
+        diff = diff_layouts(layout, edited)
+        assert diff.dirty.all()
+        assert 0 in diff.changed_layers
+
+    def test_grid_shape_mismatch_raises(self, layout):
+        other = DESIGN_BUILDERS["A"](rows=8, cols=12, seed=3)
+        with pytest.raises(ValueError, match="window grid"):
+            diff_layouts(layout, other)
+
+    def test_layer_count_mismatch_raises(self, layout):
+        fewer = Layout(name=layout.name, grid=layout.grid,
+                       layers=list(layout.layers[:-1]),
+                       file_size_mb=layout.file_size_mb,
+                       metadata=dict(layout.metadata))
+        with pytest.raises(ValueError, match="layer count"):
+            diff_layouts(layout, fewer)
+
+
+class TestDilateMask:
+    def test_radius_zero_is_identity(self):
+        mask = np.zeros((5, 7), dtype=bool)
+        mask[2, 3] = True
+        assert np.array_equal(dilate_mask(mask, 0), mask)
+
+    def test_empty_mask_stays_empty(self):
+        mask = np.zeros((4, 4), dtype=bool)
+        assert not dilate_mask(mask, 3).any()
+
+    def test_single_seed_grows_a_square(self):
+        mask = np.zeros((7, 7), dtype=bool)
+        mask[3, 3] = True
+        out = dilate_mask(mask, 2)
+        expected = np.zeros_like(mask)
+        expected[1:6, 1:6] = True
+        assert np.array_equal(out, expected)
+
+    def test_clips_at_borders(self):
+        mask = np.zeros((4, 4), dtype=bool)
+        mask[0, 0] = True
+        out = dilate_mask(mask, 2)
+        expected = np.zeros_like(mask)
+        expected[:3, :3] = True
+        assert np.array_equal(out, expected)
+
+    def test_negative_radius_raises(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            dilate_mask(np.zeros((2, 2), dtype=bool), -1)
+
+    def test_non_2d_raises(self):
+        with pytest.raises(ValueError, match="2-D"):
+            dilate_mask(np.zeros((2, 2, 2), dtype=bool), 1)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        rows=st.integers(3, 9), cols=st.integers(3, 9),
+        radius=st.integers(0, 4), bits=st.integers(0, 2**16 - 1),
+    )
+    def test_matches_bruteforce_chebyshev(self, rows, cols, radius, bits):
+        rng = np.random.default_rng(bits)
+        mask = rng.random((rows, cols)) < 0.2
+        out = dilate_mask(mask, radius)
+        expected = np.zeros_like(mask)
+        for i in range(rows):
+            for j in range(cols):
+                block = mask[max(0, i - radius):i + radius + 1,
+                             max(0, j - radius):j + radius + 1]
+                expected[i, j] = bool(block.any())
+        assert np.array_equal(out, expected)
+
+
+class TestEditLayout:
+    def test_does_not_mutate_the_original(self, layout):
+        before = layout.layers[1].density.copy()
+        edit_layout(layout, 1, slice(0, 3), slice(0, 3))
+        assert np.array_equal(layout.layers[1].density, before)
+
+    def test_density_clipped_to_max(self, layout):
+        edited = edit_layout(layout, 1, slice(0, 2), slice(0, 2),
+                             density_delta=5.0)
+        assert edited.layers[1].density[:2, :2].max() <= MAX_FILL_DENSITY
+
+    def test_name_suffix_applied(self, layout):
+        edited = edit_layout(layout, 0, slice(0, 1), slice(0, 1))
+        assert edited.name == layout.name + "-eco"
+
+    def test_bad_layer_raises(self, layout):
+        with pytest.raises(ValueError, match="layer"):
+            edit_layout(layout, layout.num_layers, slice(0, 1), slice(0, 1))
+
+    def test_roundtrip_diff_is_the_edit(self, layout):
+        edited = edit_layout(layout, 0, slice(4, 6), slice(1, 2))
+        diff = diff_layouts(layout, edited)
+        assert isinstance(diff, LayoutDiff)
+        assert diff.bounding_box() == (4, 6, 1, 2)
+        assert diff.changed_layers == (0,)

@@ -1,0 +1,316 @@
+"""Serving incremental (ECO) jobs: validation, routing affinity, parity.
+
+Covers the PR's serve-layer pieces:
+
+* ``validate_job`` admission checks for the ``eco`` op;
+* ``routing_key``'s parent-fingerprint branch — an edited layout hashes
+  differently from its parent, so content routing would strand the edit
+  on a cold shard (the satellite bugfix);
+* the router's learned fingerprint->shard affinity, exercised without
+  spawning processes;
+* executor-level fill -> eco chaining: the cached-parent path and the
+  explicit ``parent_fill`` path must produce bitwise-identical fills,
+  and the served result must match a direct in-process ``eco_refill``
+  with the serve optimizer settings (the CLI parity guarantee);
+* a forked two-shard fleet end-to-end: the eco job must land on the
+  shard holding the parent's cached solution.
+"""
+
+import multiprocessing
+
+import numpy as np
+import pytest
+
+from repro.cmp import CmpSimulator
+from repro.core import FillProblem, ScoreCoefficients, eco_refill
+from repro.layout import edit_layout, save_layout
+from repro.layout.designs import DESIGN_BUILDERS
+from repro.nn import UNet
+from repro.optimize import SqpOptimizer
+from repro.serve import (
+    ModelRegistry,
+    ServeConfig,
+    ShardRouter,
+    rendezvous_shard,
+    routing_key,
+)
+from repro.serve.executor import JobExecutor, validate_job
+from repro.serve.protocol import Request
+from repro.serve.router import _Entry
+from repro.surrogate import (
+    NUM_FEATURE_CHANNELS,
+    HeightNormalizer,
+    load_surrogate,
+    save_surrogate,
+)
+
+from .test_server import Collector, submit
+
+
+@pytest.fixture(scope="module")
+def parent_layout():
+    return DESIGN_BUILDERS["A"](rows=8, cols=8, seed=3)
+
+
+@pytest.fixture(scope="module")
+def edited_layout(parent_layout):
+    return edit_layout(parent_layout, 1, slice(2, 4), slice(2, 4))
+
+
+@pytest.fixture(scope="module")
+def layout_files(parent_layout, edited_layout, tmp_path_factory):
+    root = tmp_path_factory.mktemp("eco-serve")
+    parent = root / "a.json"
+    edited = root / "a_eco.json"
+    save_layout(parent_layout, str(parent))
+    save_layout(edited_layout, str(edited))
+    return str(parent), str(edited)
+
+
+@pytest.fixture(scope="module")
+def checkpoint(tmp_path_factory):
+    unet = UNet(NUM_FEATURE_CHANNELS, 1, base_channels=4, depth=2, rng=0)
+    directory = tmp_path_factory.mktemp("eco-serve-ckpt") / "ckpt"
+    return str(save_surrogate(directory, unet, HeightNormalizer(2500.0, 300.0),
+                              base_channels=4, depth=2))
+
+
+def eco_request(params, rid="e1"):
+    return Request(id=rid, op="eco", params=params)
+
+
+class TestValidateJob:
+    def test_needs_some_parent(self):
+        error = validate_job(eco_request({"layout_path": "a.json"}))
+        assert "parent_fingerprint" in error
+
+    def test_explicit_fill_needs_parent_layout(self):
+        error = validate_job(eco_request(
+            {"layout_path": "a.json", "parent_fill": [[[0.0]]]}))
+        assert "parent_layout" in error
+
+    def test_fingerprint_alone_is_enough(self):
+        assert validate_job(eco_request(
+            {"layout_path": "a.json", "parent_fingerprint": "abc"})) is None
+
+    def test_fill_plus_layout_is_enough(self):
+        assert validate_job(eco_request(
+            {"layout_path": "a.json", "parent_fill": [[[0.0]]],
+             "parent_layout_path": "parent.json"})) is None
+
+    def test_needs_model_when_training_disabled(self):
+        error = validate_job(eco_request(
+            {"layout_path": "a.json", "parent_fingerprint": "abc"}),
+            allow_train=False)
+        assert "model" in error
+
+
+class TestRoutingKey:
+    def test_parent_fingerprint_wins_over_layout(self):
+        key = routing_key({"layout_path": "edited.json",
+                           "parent_fingerprint": "abc123"})
+        assert key == "fingerprint:abc123"
+
+    def test_edited_inline_layout_routes_with_its_parent(
+            self, parent_layout, edited_layout):
+        from repro.layout import layout_to_dict
+
+        fingerprint = "deadbeef"
+        parent_key = routing_key(
+            {"layout": layout_to_dict(parent_layout),
+             "parent_fingerprint": fingerprint})
+        edited_key = routing_key(
+            {"layout": layout_to_dict(edited_layout),
+             "parent_fingerprint": fingerprint})
+        assert parent_key == edited_key == f"fingerprint:{fingerprint}"
+        # Without the fingerprint the two layouts hash apart — the bug
+        # this branch fixes.
+        assert routing_key({"layout": layout_to_dict(parent_layout)}) \
+            != routing_key({"layout": layout_to_dict(edited_layout)})
+
+
+class TestRouterAffinity:
+    """Learned fingerprint->shard affinity, no processes spawned."""
+
+    def make_router(self):
+        return ShardRouter(serve_config=ServeConfig(
+            workers=1, queue_capacity=4, max_batch=1, shards=4))
+
+    def complete_fill_on(self, router, shard, fingerprint, rid):
+        router._entries[rid] = _Entry(line="", reply=lambda m: None,
+                                      shard=shard, is_job=True, acked=True)
+        router._outstanding[shard] += 1
+        router._on_shard_message(shard, {
+            "id": rid, "ok": True, "status": "done",
+            "result": {"layout_fingerprint": fingerprint}})
+
+    def test_eco_follows_the_shard_that_solved_the_parent(self):
+        router = self.make_router()
+        # Pick a shard the rendezvous fallback would NOT pick, so a pass
+        # can only come from the learned table.
+        fallback = rendezvous_shard("fingerprint:fp-1", 4)
+        owner = (fallback + 1) % 4
+        self.complete_fill_on(router, owner, "fp-1", "j1")
+        request = eco_request({"layout_path": "a_eco.json",
+                               "parent_fingerprint": "fp-1"})
+        assert router._shard_for(request) == owner
+
+    def test_unknown_fingerprint_falls_back_to_rendezvous(self):
+        router = self.make_router()
+        request = eco_request({"layout_path": "a_eco.json",
+                               "parent_fingerprint": "never-seen"})
+        assert router._shard_for(request) == rendezvous_shard(
+            "fingerprint:never-seen", 4)
+
+    def test_latest_solve_wins(self):
+        router = self.make_router()
+        self.complete_fill_on(router, 1, "fp-2", "j1")
+        self.complete_fill_on(router, 3, "fp-2", "j2")
+        request = eco_request({"layout_path": "a_eco.json",
+                               "parent_fingerprint": "fp-2"})
+        assert router._shard_for(request) == 3
+
+    def test_non_eco_jobs_ignore_the_table(self):
+        router = self.make_router()
+        self.complete_fill_on(router, 2, "fp-3", "j1")
+        request = Request(id="f1", op="fill",
+                          params={"layout_path": "a.json"})
+        assert router._shard_for(request) == rendezvous_shard(
+            routing_key(request.params), 4)
+
+
+class TestExecutorEcoJobs:
+    @pytest.fixture()
+    def executor(self, checkpoint):
+        registry = ModelRegistry()
+        registry.register("m", checkpoint)
+        executor = JobExecutor(registry=registry, allow_train=False)
+        yield executor
+        executor.close()
+
+    def run_fill(self, executor, layout_path):
+        return executor.execute(Request(
+            id="f1", op="fill",
+            params={"layout_path": layout_path, "method": "neurfill-pkb",
+                    "model": "m", "return_fill": True}))
+
+    def test_fill_payload_carries_fingerprint(self, executor, layout_files):
+        payload = self.run_fill(executor, layout_files[0])
+        assert isinstance(payload.get("layout_fingerprint"), str)
+        assert executor.solution_for(payload["layout_fingerprint"]) is not None
+
+    def test_cached_and_explicit_parents_agree_bitwise(
+            self, executor, layout_files):
+        parent_path, edited_path = layout_files
+        fill_payload = self.run_fill(executor, parent_path)
+        fingerprint = fill_payload["layout_fingerprint"]
+
+        cached = executor.execute(Request(
+            id="e1", op="eco",
+            params={"layout_path": edited_path, "model": "m",
+                    "parent_fingerprint": fingerprint, "return_fill": True}))
+        explicit = executor.execute(Request(
+            id="e2", op="eco",
+            params={"layout_path": edited_path, "model": "m",
+                    "parent_fill": fill_payload["fill"],
+                    "parent_layout_path": parent_path,
+                    "return_fill": True}))
+        assert cached["method"] == "neurfill-eco"
+        assert not cached["eco"]["cache_hit"]
+        assert cached["eco"]["dirty_windows"] == 4
+        np.testing.assert_array_equal(np.asarray(cached["fill"]),
+                                      np.asarray(explicit["fill"]))
+
+    def test_served_eco_matches_direct_eco_refill(
+            self, executor, layout_files, checkpoint,
+            parent_layout, edited_layout):
+        parent_path, edited_path = layout_files
+        fill_payload = self.run_fill(executor, parent_path)
+        served = executor.execute(Request(
+            id="e1", op="eco",
+            params={"layout_path": edited_path, "model": "m",
+                    "parent_fingerprint": fill_payload["layout_fingerprint"],
+                    "return_fill": True}))
+
+        # One-shot equivalent: same checkpoint, same calibrated
+        # coefficients, same optimizer budget as the executor.
+        coefficients = ScoreCoefficients.calibrated(
+            edited_layout, CmpSimulator(), beta_runtime=60.0)
+        problem = FillProblem(edited_layout, coefficients)
+        network = load_surrogate(checkpoint, edited_layout)
+        direct = eco_refill(
+            problem, network, parent_layout,
+            np.asarray(fill_payload["fill"], dtype=float),
+            optimizer=SqpOptimizer(max_iter=80, tol=1e-9))
+        np.testing.assert_array_equal(np.asarray(served["fill"]),
+                                      direct.fill)
+        assert served["quality"] == pytest.approx(direct.quality, abs=1e-12)
+
+    def test_eco_result_is_cached_for_chained_edits(
+            self, executor, layout_files, parent_layout, edited_layout):
+        parent_path, edited_path = layout_files
+        self.run_fill(executor, parent_path)
+        first = executor.execute(Request(
+            id="e1", op="eco",
+            params={"layout_path": edited_path, "model": "m",
+                    "parent_fingerprint": layout_fingerprint_of(
+                        executor, parent_path)}))
+        # Chain a second edit off the first eco's own fingerprint.
+        second_layout = edit_layout(edited_layout, 0, slice(5, 6),
+                                    slice(5, 6), name_suffix="-eco2")
+        from repro.layout import layout_to_dict
+
+        second = executor.execute(Request(
+            id="e2", op="eco",
+            params={"layout": layout_to_dict(second_layout), "model": "m",
+                    "parent_fingerprint": first["layout_fingerprint"]}))
+        assert second["method"] == "neurfill-eco"
+        assert second["eco"]["dirty_windows"] == 1
+
+    def test_missing_parent_raises_clear_error(self, executor, layout_files):
+        with pytest.raises(ValueError, match="not cached on this worker"):
+            executor.execute(Request(
+                id="e1", op="eco",
+                params={"layout_path": layout_files[1], "model": "m",
+                        "parent_fingerprint": "no-such-parent"}))
+
+
+def layout_fingerprint_of(executor, path):
+    layout, fingerprint = executor._load_layout({"layout_path": path})
+    return fingerprint
+
+
+@pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="shard router tests need the fork start method")
+class TestShardedEco:
+    def test_eco_lands_on_the_parent_shard(self, layout_files, checkpoint):
+        parent_path, edited_path = layout_files
+        router = ShardRouter(
+            serve_config=ServeConfig(workers=1, queue_capacity=8,
+                                     max_batch=1, shards=2),
+            model_specs=[("m", checkpoint)])
+        router.start()
+        try:
+            collector = Collector()
+            submit(router, collector, "f1", params={
+                "layout_path": parent_path, "method": "neurfill-pkb",
+                "model": "m", "return_fill": True})
+            done = collector.wait_for("f1", "done")
+            fingerprint = done["result"]["layout_fingerprint"]
+            assert router._affinity[fingerprint] in (0, 1)
+
+            # The parent solution lives only in one shard's executor; a
+            # mis-routed eco would fail with "not cached on this worker".
+            submit(router, collector, "e1", op="eco", params={
+                "layout_path": edited_path, "model": "m",
+                "parent_fingerprint": fingerprint, "return_fill": True})
+            eco_done = collector.wait_for("e1", "done")
+            result = eco_done["result"]
+            assert result["method"] == "neurfill-eco"
+            assert result["eco"]["dirty_windows"] == 4
+            fill = np.asarray(result["fill"], dtype=float)
+            parent_fill = np.asarray(done["result"]["fill"], dtype=float)
+            assert fill.shape == parent_fill.shape
+        finally:
+            router.shutdown(timeout=30.0)

@@ -1,0 +1,94 @@
+"""Regression tests for the network's fill/halo validation contract.
+
+Two silent-failure modes fixed by the ECO PR:
+
+* ``predict_heights_tiled`` used to fall back to a **zero halo** when the
+  bound model did not expose ``receptive_field_radius`` — voiding the
+  tiled-exactness guarantee without a word.  It must raise instead.
+* ``predict_heights`` defaulted/validated fills against
+  ``self.layout.shape`` while the tiled path used
+  ``self.consts.density.shape``; both now go through one checked helper
+  keyed on the extraction constants (what the forward actually consumes)
+  and fail loudly on a mismatch.
+"""
+
+import numpy as np
+import pytest
+
+from repro.layout.designs import DESIGN_BUILDERS
+from repro.nn import Conv2d, UNet
+from repro.surrogate import NUM_FEATURE_CHANNELS
+from repro.surrogate.network import CmpNeuralNetwork, HeightNormalizer
+
+
+@pytest.fixture(scope="module")
+def layout():
+    return DESIGN_BUILDERS["A"](rows=8, cols=8, seed=3)
+
+
+@pytest.fixture(scope="module")
+def network(layout):
+    unet = UNet(NUM_FEATURE_CHANNELS, 1, base_channels=4, depth=1, rng=0)
+    return CmpNeuralNetwork(layout, unet, HeightNormalizer(2500.0, 300.0))
+
+
+@pytest.fixture(scope="module")
+def conv_network(layout):
+    """A network whose model has no receptive_field_radius() (1x1 conv)."""
+    conv = Conv2d(NUM_FEATURE_CHANNELS, 1, 1, rng=np.random.default_rng(0))
+    return CmpNeuralNetwork(layout, conv, HeightNormalizer(2500.0, 300.0))
+
+
+class TestReceptiveHalo:
+    def test_unet_halo_covers_radius_and_aligns(self, network):
+        halo = network.receptive_halo()
+        radius = network.unet.receptive_field_radius()
+        align = network.unet.alignment
+        assert halo >= radius
+        assert halo % align == 0
+
+    def test_model_without_radius_raises(self, conv_network):
+        with pytest.raises(ValueError, match="receptive_field_radius"):
+            conv_network.receptive_halo()
+
+    def test_tiled_refuses_silent_zero_halo(self, conv_network):
+        # The old behaviour: no receptive_field_radius => halo 0, silently
+        # wrong stitched heights.  Now it must fail loudly.
+        with pytest.raises(ValueError, match="receptive_field_radius"):
+            conv_network.predict_heights_tiled(tile=4)
+
+    def test_tiled_with_explicit_halo_still_works(self, conv_network):
+        # A 1x1 conv genuinely has a zero receptive field, so an explicit
+        # halo=0 is exact — the caller owns that claim.
+        mono = conv_network.predict_heights()
+        tiled = conv_network.predict_heights_tiled(tile=4, halo=0)
+        np.testing.assert_allclose(tiled, mono, rtol=1e-12, atol=1e-12)
+
+
+class TestFillValidation:
+    def test_grid_shape_comes_from_extraction_constants(self, network, layout):
+        assert network.grid_shape == network.consts.density.shape
+        assert network.grid_shape == layout.shape
+
+    def test_monolithic_rejects_wrong_shape(self, network):
+        bad = np.zeros((1, 4, 4))
+        with pytest.raises(ValueError, match="layout shape"):
+            network.predict_heights(bad)
+
+    def test_tiled_rejects_wrong_shape(self, network):
+        bad = np.zeros((1, 4, 4))
+        with pytest.raises(ValueError, match="layout shape"):
+            network.predict_heights_tiled(bad, tile=4)
+
+    def test_both_paths_reject_wrong_ndim(self, network):
+        L, N, M = network.grid_shape
+        stacked = np.zeros((2, L, N, M))
+        with pytest.raises(ValueError, match="layout shape"):
+            network.predict_heights(stacked)
+        with pytest.raises(ValueError, match="layout shape"):
+            network.predict_heights_tiled(stacked, tile=4)
+
+    def test_default_fill_is_zeros_of_grid_shape(self, network):
+        zero = network.predict_heights()
+        explicit = network.predict_heights(np.zeros(network.grid_shape))
+        np.testing.assert_array_equal(zero, explicit)

@@ -128,6 +128,69 @@ class TestErrorHandling:
         assert str(missing) in err
 
 
+class TestEco:
+    @pytest.fixture()
+    def checkpoint(self, tmp_path):
+        from repro.nn import UNet
+        from repro.surrogate import (
+            NUM_FEATURE_CHANNELS,
+            HeightNormalizer,
+            save_surrogate,
+        )
+
+        unet = UNet(NUM_FEATURE_CHANNELS, 1, base_channels=4, depth=2, rng=0)
+        return str(save_surrogate(tmp_path / "ckpt", unet,
+                                  HeightNormalizer(2500.0, 300.0),
+                                  base_channels=4, depth=2))
+
+    @pytest.fixture()
+    def edited_file(self, design_file, tmp_path):
+        from repro.layout import edit_layout, save_layout
+
+        edited = edit_layout(load_layout(design_file), 1,
+                             slice(2, 4), slice(2, 4))
+        path = tmp_path / "a_eco.json"
+        save_layout(edited, str(path))
+        return path
+
+    def test_incremental_refill(self, design_file, edited_file, checkpoint,
+                                tmp_path, capsys):
+        parent_npz = tmp_path / "fill.npz"
+        assert main(["fill", str(design_file), "--model", checkpoint,
+                     "--fill-out", str(parent_npz)]) == 0
+        eco_npz = tmp_path / "fill_eco.npz"
+        rc = main(["eco", str(design_file), str(edited_file),
+                   "--parent-fill", str(parent_npz),
+                   "--model", checkpoint, "--fill-out", str(eco_npz)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "neurfill-eco" in out
+        assert "eco: dirty=4/" in out
+        with np.load(eco_npz) as data:
+            assert data["fill"].shape == load_layout(edited_file).shape
+
+    def test_empty_edit_reuses_parent(self, design_file, checkpoint,
+                                      tmp_path, capsys):
+        parent_npz = tmp_path / "fill.npz"
+        assert main(["fill", str(design_file), "--model", checkpoint,
+                     "--fill-out", str(parent_npz)]) == 0
+        rc = main(["eco", str(design_file), str(design_file),
+                   "--parent-fill", str(parent_npz), "--model", checkpoint])
+        assert rc == 0
+        assert "parent solution reused as-is" in capsys.readouterr().out
+
+    def test_missing_parent_fill_is_one_line_error(self, design_file,
+                                                   edited_file, checkpoint,
+                                                   tmp_path, capsys):
+        rc = main(["eco", str(design_file), str(edited_file),
+                   "--parent-fill", str(tmp_path / "nope.npz"),
+                   "--model", checkpoint])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.strip().splitlines()[-1].startswith("repro: error: ")
+        assert "parent fill file not found" in err
+
+
 class TestTrainSurrogate:
     def test_train_and_reuse(self, design_file, tmp_path, capsys):
         ckpt = tmp_path / "ckpt"

@@ -11,20 +11,27 @@ brought back to optimality.  :func:`eco_refill` does exactly that:
 2. **Dilate** the dirty set by the UNet's receptive-field radius plus a
    coupling radius into the *free* set — the only windows whose fill is
    allowed to move.
-3. **Freeze** everything else by pinning its box constraints to the
-   parent fill (``lower == upper == parent``) and warm-starting SQP from
-   the parent solution.
-4. **Evaluate** the global quality objective through ONE cropped network
+3. **Split** the free set into 8-connected components
+   (:func:`repro.layout.diff.connected_components`): two edits on
+   opposite chip corners become two *sites*, each re-optimised through a
+   small cropped pass of its own instead of one bounding box spanning the
+   whole chip.
+4. **Freeze** everything else per site by pinning its box constraints to
+   the warm start (``lower == upper == x0``) and run one SQP per site.
+5. **Evaluate** the global quality objective through ONE cropped network
    pass per iteration (:meth:`CmpNeuralNetwork.evaluate_region`): heights
-   outside the free set's receptive halo provably equal the heights of
-   the warm start, so they are composed in as constants.
+   outside the site's receptive halo provably equal the heights of the
+   warm start, so they are composed in as constants.  All sites share a
+   single monolithic base forward — their complements are frozen at the
+   same warm start.
 
 Guarantees (argued in DESIGN.md, tested in ``tests/core/test_eco.py``):
 
 * **Bitwise outside the halo.** Fill outside the free set is the parent
   fill, bit for bit — frozen coordinates are never moved by the SQP
   (``np.clip(x, a, a) == a`` exactly and pinned bounds zero every search
-  direction component) and the driver re-asserts the identity
+  direction component).  The driver *checks* the identity per site
+  (raising instead of silently repairing a violation) and re-asserts it
   structurally with ``np.where`` before returning.
 * **Full-refill equivalence inside.** Per evaluation, the cropped
   objective matches the monolithic one to float round-off at every free
@@ -46,7 +53,8 @@ import time
 
 import numpy as np
 
-from ..layout.diff import LayoutDiff, diff_layouts, dilate_mask
+from ..layout.diff import (LayoutDiff, connected_components, diff_layouts,
+                           dilate_mask)
 from ..layout.layout import Layout
 from ..optimize.sqp import SqpOptimizer
 from ..surrogate.network import CmpNeuralNetwork
@@ -78,7 +86,8 @@ class EcoQualityModel:
     """
 
     def __init__(self, problem: FillProblem, network: CmpNeuralNetwork,
-                 base_fill: np.ndarray, free: np.ndarray):
+                 base_fill: np.ndarray, free: np.ndarray,
+                 base_heights: np.ndarray | None = None):
         if network.grid_shape != problem.layout.shape:
             raise ValueError(
                 f"network bound to shape {network.grid_shape}, problem layout "
@@ -103,8 +112,20 @@ class EcoQualityModel:
         if self.region is None:
             raise ValueError("free mask is empty — nothing to re-optimise "
                              "(an empty ECO should be served from cache)")
-        self.base_heights = network.predict_heights(base_fill)
-        self.evaluations = 1  # the base forward above
+        if base_heights is None:
+            self.base_heights = network.predict_heights(base_fill)
+            self.evaluations = 1  # the base forward above
+        else:
+            # Shared monolithic base forward (the multi-site driver runs
+            # it once for all sites: every site freezes its complement at
+            # the same warm start, so the base heights coincide).
+            base_heights = np.asarray(base_heights, dtype=float)
+            if base_heights.shape != problem.layout.shape:
+                raise ValueError(
+                    f"base_heights must have layout shape "
+                    f"{problem.layout.shape}, got {base_heights.shape}")
+            self.base_heights = base_heights
+            self.evaluations = 0
 
     def evaluate(self, fill: np.ndarray,
                  want_grad: bool = True) -> QualityEvaluation:
@@ -171,7 +192,9 @@ def eco_refill(
 
     Returns:
         A :class:`FillResult` tagged ``neurfill-eco`` whose ``extras["eco"]``
-        records the dirty/free geometry and SQP diagnostics.  The reported
+        records the dirty/free geometry and per-site SQP diagnostics
+        (``num_sites``/``sites``: one cropped pass per 8-connected
+        component of the free set; ``starts`` counts sites).  The reported
         quality/planarity/degradation come from one final *monolithic*
         evaluation, so they are directly comparable to full-refill results.
     """
@@ -212,6 +235,7 @@ def eco_refill(
     if coupling < 0:
         raise ValueError(f"coupling_radius must be >= 0, got {coupling}")
     free2d = dilate_mask(diff.dirty, rf_radius + coupling)
+    sites = connected_components(free2d)
 
     # Warm start: the parent fill, clipped into the edited problem's box
     # on free coordinates only (an edit can shrink slack there).  Frozen
@@ -220,32 +244,65 @@ def eco_refill(
     free3d = np.broadcast_to(free2d, problem.layout.shape)
     x0 = np.where(free3d, problem.clip(parent_fill), parent_fill)
 
-    model = EcoQualityModel(problem, network, x0, free2d)
+    # One shared monolithic base forward: every site freezes its
+    # complement at the same warm start, so all sites compose their
+    # cropped passes against the same base heights.
+    base_heights = network.predict_heights(x0)
+    evaluations = 1
     optimizer = optimizer or SqpOptimizer(max_iter=60, tol=1e-9)
-    sqp = optimizer.maximize(
-        model.value_and_grad, x0, model.lower, model.upper,
-        fun_value=model.quality)
 
-    # The pinned bounds already force this identity; re-assert it
-    # structurally so the bitwise guarantee cannot erode.
-    fill = np.where(free3d, sqp.x, parent_fill)
+    fill = x0.copy()
+    site_records: list[dict] = []
+    iterations_total = 0
+    converged_all = True
+    for site2d in sites:
+        model = EcoQualityModel(problem, network, x0, site2d,
+                                base_heights=base_heights)
+        sqp = optimizer.maximize(
+            model.value_and_grad, x0, model.lower, model.upper,
+            fun_value=model.quality)
+        site3d = np.broadcast_to(site2d, fill.shape)
+        frozen = ~site3d
+        # The pinned bounds force this identity; check it per site so a
+        # violation fails loudly instead of being silently repaired.
+        if not np.array_equal(sqp.x[frozen], x0[frozen]):
+            raise RuntimeError(
+                "ECO site optimisation moved frozen coordinates — the "
+                "bitwise-outside guarantee is broken")
+        fill = np.where(site3d, sqp.x, fill)
+        evaluations += model.evaluations
+        iterations_total += int(sqp.iterations)
+        converged_all &= bool(sqp.converged)
+        region = model.region
+        site_records.append({
+            "free_windows": int(site2d.sum()),
+            "core": [region.r0, region.r1, region.c0, region.c1],
+            "crop": [region.sr0, region.sr1, region.sc0, region.sc1],
+            "sqp_iterations": int(sqp.iterations),
+            "sqp_converged": bool(sqp.converged),
+        })
+
+    # Re-assert the frozen-complement identity structurally so the
+    # bitwise guarantee cannot erode.
+    fill = np.where(free3d, fill, parent_fill)
 
     # Report quality from one monolithic evaluation: comparable to full
     # refills and independent of the region composition.
     final = QualityModel(problem, network).evaluate(fill, want_grad=False)
-    extras = {"eco": _eco_extras(diff, model, rf_radius, coupling,
-                                 cache_hit=False,
-                                 sqp_iterations=sqp.iterations,
-                                 sqp_converged=sqp.converged)}
+    extras = {"eco": _eco_extras(diff, free2d, rf_radius, coupling,
+                                 cache_hit=False, sites=site_records,
+                                 sqp_iterations=iterations_total,
+                                 sqp_converged=converged_all)}
     return FillResult(
         method=ECO_METHOD, fill=fill, quality=final.quality,
         planarity=final.planarity, degradation=final.degradation,
         runtime_s=time.perf_counter() - t0,
-        evaluations=model.evaluations + 1, starts=1, extras=extras)
+        evaluations=evaluations + 1, starts=len(sites), extras=extras)
 
 
-def _eco_extras(diff: LayoutDiff, model: EcoQualityModel | None,
+def _eco_extras(diff: LayoutDiff, free2d: np.ndarray | None,
                 rf_radius: int, coupling: int, *, cache_hit: bool,
+                sites: list[dict] | None = None,
                 sqp_iterations: int = 0, sqp_converged: bool = True) -> dict:
     total = int(diff.dirty.size)
     extras = {
@@ -260,12 +317,11 @@ def _eco_extras(diff: LayoutDiff, model: EcoQualityModel | None,
         "sqp_iterations": int(sqp_iterations),
         "sqp_converged": bool(sqp_converged),
     }
-    if model is not None:
-        region = model.region
+    if free2d is not None:
         extras.update({
-            "free_windows": int(model.free2d.sum()),
-            "free_fraction": float(model.free2d.mean()),
-            "core": [region.r0, region.r1, region.c0, region.c1],
-            "crop": [region.sr0, region.sr1, region.sc0, region.sc1],
+            "free_windows": int(free2d.sum()),
+            "free_fraction": float(free2d.mean()),
+            "num_sites": len(sites or ()),
+            "sites": list(sites or ()),
         })
     return extras

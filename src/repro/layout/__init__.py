@@ -15,7 +15,8 @@ from .designs import (
     make_design_c,
     make_two_fillable_window_layout,
 )
-from .diff import LayoutDiff, diff_layouts, dilate_mask, edit_layout
+from .diff import (LayoutDiff, connected_components, diff_layouts,
+                   dilate_mask, edit_layout)
 from .fill_regions import SlackRegions, allocate_fill_by_priority, compute_slack_regions
 from .geometry import Rect, union_area
 from .grid import WindowGrid
@@ -46,6 +47,7 @@ __all__ = [
     "apply_fill",
     "assemble_layout",
     "compute_slack_regions",
+    "connected_components",
     "diff_layouts",
     "dilate_mask",
     "dummy_count",

@@ -21,7 +21,8 @@ import numpy as np
 
 from .layout import MAX_FILL_DENSITY, LayerWindows, Layout
 
-__all__ = ["LayoutDiff", "diff_layouts", "dilate_mask", "edit_layout"]
+__all__ = ["LayoutDiff", "connected_components", "diff_layouts",
+           "dilate_mask", "edit_layout"]
 
 #: Per-window feature arrays compared by :func:`diff_layouts`.  Any
 #: difference in any layer marks the window dirty.
@@ -128,6 +129,41 @@ def dilate_mask(mask: np.ndarray, radius: int) -> np.ndarray:
                 out[:, shift:] |= src[:, :-shift]
                 out[:, :-shift] |= src[:, shift:]
     return out
+
+
+def connected_components(mask: np.ndarray) -> list[np.ndarray]:
+    """8-connected components of a 2-D bool mask, one bool mask each.
+
+    Connectivity is Chebyshev (diagonals connect), matching
+    :func:`dilate_mask`: two dirty sites whose dilated halos touch — even
+    corner to corner — merge into one component, so distinct components
+    are provably separated by at least one fully-frozen window ring.
+
+    Components are returned in deterministic row-major order of their
+    first (topmost, then leftmost) set window.  An empty mask yields an
+    empty list.
+    """
+    mask = np.asarray(mask, dtype=bool)
+    if mask.ndim != 2:
+        raise ValueError(f"mask must be 2-D, got shape {mask.shape}")
+    remaining = mask.copy()
+    components: list[np.ndarray] = []
+    while remaining.any():
+        seed_r, seed_c = np.unravel_index(
+            int(remaining.argmax()), remaining.shape)
+        component = np.zeros_like(remaining)
+        component[seed_r, seed_c] = True
+        # Grow by unit Chebyshev dilation until the flood stabilises;
+        # each pass extends the frontier one window, so the loop count is
+        # bounded by the component's diameter.
+        while True:
+            grown = dilate_mask(component, 1) & remaining
+            if np.array_equal(grown, component):
+                break
+            component = grown
+        components.append(component)
+        remaining &= ~component
+    return components
 
 
 def edit_layout(layout: Layout, layer: int, rows: slice, cols: slice, *,

@@ -8,6 +8,13 @@ plan.  Backward closures deliberately retain **no** padded-input copy:
 the padded map and its windows are recomputed from ``x.data`` on demand,
 so the forward graph of a deep network holds one set of activations, not
 two.
+
+Under graph capture the trade flips: padded/dilated scratch maps *are*
+retained (they become arena workspaces whose zero borders never change),
+and replay closures refresh only the interiors before re-running the
+dispatcher with ``out=`` into the original output buffers.  Replays hit
+the same plan-cache key as the trace, so the backend — and therefore the
+bit pattern — is identical.
 """
 
 from __future__ import annotations
@@ -16,7 +23,7 @@ import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
 
 from . import dispatch
-from .tensor import Array, Tensor
+from .tensor import Array, Tensor, capture_recorder
 
 
 def _check_4d(x: Tensor, name: str) -> None:
@@ -55,6 +62,40 @@ def _flip_transpose(weight: Array) -> Array:
     return np.ascontiguousarray(weight.transpose(1, 0, 2, 3)[:, :, ::-1, ::-1])
 
 
+def _dilate_pad_into(values: Array, kh: int, kw: int, stride: int,
+                     ws: dict | None, name: str) -> Array:
+    """:func:`_dilate_pad` with a reusable destination under capture.
+
+    The zero dilation lattice and the (k-1) border of the retained buffer
+    never change; refreshing only the stride-spaced interior slots is
+    value-identical to rebuilding the map from scratch.
+    """
+    if ws is None:
+        return _dilate_pad(values, kh, kw, stride)
+    buf = ws.get(name)
+    if buf is None:
+        buf = _dilate_pad(values, kh, kw, stride)
+        ws[name] = buf
+        return buf
+    B, C, H, W = values.shape
+    buf[:, :, kh - 1 : kh - 1 + (H - 1) * stride + 1 : stride,
+        kw - 1 : kw - 1 + (W - 1) * stride + 1 : stride] = values
+    return buf
+
+
+def _flip_transpose_into(weight: Array, ws: dict | None, name: str) -> Array:
+    """:func:`_flip_transpose` with a reusable destination under capture."""
+    if ws is None:
+        return _flip_transpose(weight)
+    buf = ws.get(name)
+    if buf is None:
+        buf = _flip_transpose(weight)
+        ws[name] = buf
+    else:
+        np.copyto(buf, weight.transpose(1, 0, 2, 3)[:, :, ::-1, ::-1])
+    return buf
+
+
 def conv2d(
     x: Tensor,
     weight: Tensor,
@@ -73,15 +114,20 @@ def conv2d(
     if H + 2 * padding < kh or W + 2 * padding < kw:
         raise ValueError("kernel larger than padded input")
 
+    recorder = capture_recorder()
     xp = _pad_spatial(x.data, padding)
-    out_data = dispatch.corr2d(xp, weight.data, stride, tag="fwd")
+    corr = dispatch.corr2d(xp, weight.data, stride, tag="fwd")
     if bias is not None:
-        out_data = out_data + bias.data[None, :, None, None]
+        out_data = corr + bias.data[None, :, None, None]
+    else:
+        out_data = corr
     padded_shape = xp.shape
-    del xp  # recomputed on demand in backward; do not retain a copy
+    if recorder is None:
+        del xp  # recomputed on demand in backward; do not retain a copy
 
     parents = (x, weight) if bias is None else (x, weight, bias)
     out = Tensor(out_data, _parents=parents)
+    bws = None if recorder is None else recorder.register_workspace({})
 
     def backward(grad: Array) -> None:
         if bias is not None and bias.requires_grad:
@@ -97,21 +143,54 @@ def conv2d(
             # Input gradient as a full correlation of the dilated upstream
             # gradient with the flipped, channel-transposed kernel.
             gfull = dispatch.corr2d(
-                _dilate_pad(grad, kh, kw, stride), _flip_transpose(weight.data),
+                _dilate_pad_into(grad, kh, kw, stride, bws, "gdp"),
+                _flip_transpose_into(weight.data, bws, "fw"),
                 1, tag="bwd_input",
+                out=None if bws is None else bws.get("gfull"),
+                workspace=bws,
             )
+            if bws is not None:
+                bws["gfull"] = gfull
             if gfull.shape == padded_shape:
                 gxp = gfull
             else:
                 # Trailing rows/cols of the padded input that no window
                 # covers (when (H - kh) % stride != 0) get zero gradient.
-                gxp = np.zeros(padded_shape, dtype=gfull.dtype)
+                # Under capture the zero tail of the retained buffer is
+                # never written, so refilling the head is equivalent.
+                gxp = None if bws is None else bws.get("gxp")
+                if gxp is None:
+                    gxp = np.zeros(padded_shape, dtype=gfull.dtype)
+                    if bws is not None:
+                        bws["gxp"] = gxp
                 gxp[:, :, : gfull.shape[2], : gfull.shape[3]] = gfull
             if padding:
                 gxp = gxp[:, :, padding:-padding or None, padding:-padding or None]
             x._accumulate(gxp)
 
     out._backward = backward
+    if recorder is not None:
+        recorder.note_workspace(
+            (xp.nbytes if padding else 0) + (corr.nbytes if bias is not None else 0)
+        )
+        fws = recorder.register_workspace({})
+
+        def replay() -> None:
+            if padding:
+                np.copyto(xp[:, :, padding : padding + H, padding : padding + W],
+                          x.data)
+                src = xp
+            else:
+                src = x.data
+            if bias is None:
+                dispatch.corr2d(src, weight.data, stride, tag="fwd",
+                                out=out.data, workspace=fws)
+            else:
+                dispatch.corr2d(src, weight.data, stride, tag="fwd", out=corr,
+                                workspace=fws)
+                np.add(corr, bias.data[None, :, None, None], out=out.data)
+
+        out._replay = replay
     return out
 
 
@@ -134,15 +213,20 @@ def conv_transpose2d(
 
     # Scatter as a dense gather: correlate the dilated input with the
     # flipped kernel, (C, O) transposed into corr2d's (out, in) order.
-    out_data = dispatch.corr2d(
-        _dilate_pad(x.data, kh, kw, stride), _flip_transpose(weight.data), 1,
-        tag="fwd",
-    )
+    recorder = capture_recorder()
+    dp = _dilate_pad(x.data, kh, kw, stride)
+    fw = _flip_transpose(weight.data)
+    corr = dispatch.corr2d(dp, fw, 1, tag="fwd")
     if bias is not None:
-        out_data = out_data + bias.data[None, :, None, None]
+        out_data = corr + bias.data[None, :, None, None]
+    else:
+        out_data = corr
+    if recorder is None:
+        del dp, fw
 
     parents = (x, weight) if bias is None else (x, weight, bias)
     out = Tensor(out_data, _parents=parents)
+    bws = None if recorder is None else recorder.register_workspace({})
 
     def backward(grad: Array) -> None:
         if bias is not None and bias.requires_grad:
@@ -158,10 +242,34 @@ def conv_transpose2d(
         if x.requires_grad:
             # Strided gather of the upstream gradient: a plain strided
             # correlation with the weight read as (out=C, in=O).
-            x._accumulate(dispatch.corr2d(grad, weight.data, stride,
-                                          tag="bwd_input"))
+            gx = dispatch.corr2d(grad, weight.data, stride, tag="bwd_input",
+                                 out=None if bws is None else bws.get("gx"),
+                                 workspace=bws)
+            if bws is not None:
+                bws["gx"] = gx
+            x._accumulate(gx)
 
     out._backward = backward
+    if recorder is not None:
+        recorder.note_workspace(
+            dp.nbytes + fw.nbytes + (corr.nbytes if bias is not None else 0)
+        )
+        fws = recorder.register_workspace({})
+
+        def replay() -> None:
+            # Interior strided slots of the dilate-padded map; the zero
+            # lattice between them never changes.
+            dp[:, :, kh - 1 : kh - 1 + (H - 1) * stride + 1 : stride,
+               kw - 1 : kw - 1 + (W - 1) * stride + 1 : stride] = x.data
+            np.copyto(fw, weight.data.transpose(1, 0, 2, 3)[:, :, ::-1, ::-1])
+            if bias is None:
+                dispatch.corr2d(dp, fw, 1, tag="fwd", out=out.data,
+                                workspace=fws)
+            else:
+                dispatch.corr2d(dp, fw, 1, tag="fwd", out=corr, workspace=fws)
+                np.add(corr, bias.data[None, :, None, None], out=out.data)
+
+        out._replay = replay
     return out
 
 
@@ -180,10 +288,21 @@ def max_pool2d(x: Tensor, kernel: int = 2, stride: int | None = None) -> Tensor:
     out = Tensor(np.take_along_axis(flat, arg[..., None], axis=-1)[..., 0],
                  _parents=(x,))
 
+    recorder = capture_recorder()
+    bws = None if recorder is None else recorder.register_workspace({})
+
     def backward(grad: Array) -> None:
         if not x.requires_grad:
             return
-        gx = np.zeros_like(x.data)
+        if bws is None:
+            gx = np.zeros_like(x.data)
+        else:
+            gx = bws.get("gx")
+            if gx is None:
+                gx = np.zeros_like(x.data)
+                bws["gx"] = gx
+            else:
+                gx.fill(0)
         bi, ci, hi, wi = np.ogrid[:B, :C, :Ho, :Wo]
         rows = hi * stride + arg // kernel
         cols = wi * stride + arg % kernel
@@ -191,6 +310,19 @@ def max_pool2d(x: Tensor, kernel: int = 2, stride: int | None = None) -> Tensor:
         x._accumulate(gx)
 
     out._backward = backward
+    if recorder is not None:
+        recorder.note_workspace(flat.nbytes + arg.nbytes)
+
+        def replay() -> None:
+            # `windows` is a strided view of x.data, so it tracks in-place
+            # input updates; `flat` is its contiguous copy, refreshed here.
+            np.copyto(flat.reshape(windows.shape), windows)
+            flat.argmax(axis=-1, out=arg)
+            # max == take_along_axis(flat, argmax): both return the same
+            # window element exactly, so this is bitwise-equal and cheaper.
+            flat.max(axis=-1, out=out.data)
+
+        out._replay = replay
     return out
 
 
@@ -205,6 +337,12 @@ def upsample2x(x: Tensor) -> Tensor:
             x._accumulate(grad.reshape(B, C, H, 2, W, 2).sum(axis=(3, 5)))
 
     out._backward = backward
+    if capture_recorder() is not None:
+
+        def replay() -> None:
+            out.data.reshape(B, C, H, 2, W, 2)[...] = x.data[:, :, :, None, :, None]
+
+        out._replay = replay
     return out
 
 
@@ -227,4 +365,11 @@ def avg_pool2d(x: Tensor, kernel: int = 2) -> Tensor:
             x._accumulate(g)
 
     out._backward = backward
+    if capture_recorder() is not None:
+
+        def replay() -> None:
+            np.mean(x.data.reshape(B, C, Ho, kernel, Wo, kernel), axis=(3, 5),
+                    out=out.data)
+
+        out._replay = replay
     return out

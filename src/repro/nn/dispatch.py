@@ -31,8 +31,9 @@ one-shot micro-benchmark of every eligible backend, records the winner in
 a plan cache (persisted to disk, see
 :func:`repro.config.conv_plan_cache_path`), and every later call with the
 same key dispatches straight to the winner.  Below the threshold a
-deterministic heuristic applies (``matmul`` for 1x1 kernels, otherwise
-``im2col``), which keeps small-problem numerics bit-stable run to run.
+deterministic heuristic applies (``matmul`` for 1x1 kernels and for
+forward correlations with kernels up to 3x3, otherwise ``im2col``),
+which keeps small-problem numerics bit-stable run to run.
 ``REPRO_CONV_BACKEND`` forces one backend globally (falling back to
 ``im2col`` when the forced backend does not support the call, e.g. FFT
 with stride > 1).
@@ -75,37 +76,74 @@ _persisted_loaded = False
 _kernel_ffts: dict[tuple, Array] = {}
 
 
+def _workspace_buffer(workspace: dict | None, name: str, shape: tuple,
+                      dtype) -> Array:
+    """Fetch-or-create a reusable scratch array in a caller-owned dict.
+
+    Captured-graph replay closures (:mod:`repro.nn.capture` via
+    :mod:`repro.nn.conv`) pass a per-call-site dict so hot repeated calls
+    reuse their im2col/result scratch instead of reallocating it every
+    iteration; eager calls pass None and allocate fresh.  Buffer shape,
+    layout and dtype are identical either way, so results are bitwise
+    equal.
+    """
+    if workspace is None:
+        return np.empty(shape, dtype=dtype)
+    buf = workspace.get(name)
+    if buf is None or buf.shape != shape or buf.dtype != dtype:
+        buf = np.empty(shape, dtype=dtype)
+        workspace[name] = buf
+    return buf
+
+
 # ----------------------------------------------------------------------
 # forward primitive: valid cross-correlation
 #   out[b, o, h, w] = sum_{c,i,j} xp[b, c, h*s + i, w*s + j] * w[o, c, i, j]
 # ----------------------------------------------------------------------
-def _corr_im2col(xp: Array, w: Array, stride: int) -> Array:
+def _corr_im2col(xp: Array, w: Array, stride: int, out: Array | None = None,
+                 workspace: dict | None = None) -> Array:
     kh, kw = w.shape[2:]
     win = sliding_window_view(xp, (kh, kw), axis=(2, 3))[:, :, ::stride, ::stride]
-    return np.einsum("bchwij,ocij->bohw", win, w, optimize=True)
+    return np.einsum("bchwij,ocij->bohw", win, w, optimize=True, out=out)
 
 
-def _corr_matmul(xp: Array, w: Array, stride: int) -> Array:
+def _corr_matmul(xp: Array, w: Array, stride: int, out: Array | None = None,
+                 workspace: dict | None = None) -> Array:
     O, C, kh, kw = w.shape
     B, _, H, W = xp.shape
     Ho = (H - kh) // stride + 1
     Wo = (W - kw) // stride + 1
+    dtype = np.result_type(xp, w)
     if kh == 1 and kw == 1:
         x = xp[:, :, ::stride, ::stride] if stride > 1 else xp
-        out = np.tensordot(w[:, :, 0, 0], x, axes=([1], [1]))  # (O, B, Ho, Wo)
-        return np.ascontiguousarray(out.transpose(1, 0, 2, 3))
-    xs = np.ascontiguousarray(xp.transpose(0, 2, 3, 1))  # (B, H, W, C)
-    acc: Array | None = None
+        res = np.tensordot(w[:, :, 0, 0], x, axes=([1], [1]))  # (O, B, Ho, Wo)
+        if out is not None:
+            np.copyto(out, res.transpose(1, 0, 2, 3))
+            return out
+        return np.ascontiguousarray(res.transpose(1, 0, 2, 3))
+    # Channels-last copy of the input; each kernel tap is then a strided
+    # view feeding one GEMM.  Buffer layouts (and therefore the GEMM
+    # accumulation order and bit patterns) are identical with and without
+    # a workspace.
+    xs = _workspace_buffer(workspace, "mm_xs", (B, H, W, C), xp.dtype)
+    np.copyto(xs, xp.transpose(0, 2, 3, 1))
+    wt = _workspace_buffer(workspace, "mm_wt", (kh, kw, C, O), w.dtype)
+    np.copyto(wt, w.transpose(2, 3, 1, 0))
+    acc = _workspace_buffer(workspace, "mm_acc", (B, Ho, Wo, O), dtype)
+    blk = _workspace_buffer(workspace, "mm_blk", (B, Ho, Wo, O), dtype)
     for i in range(kh):
         for j in range(kw):
             tap = xs[:, i : i + (Ho - 1) * stride + 1 : stride,
                      j : j + (Wo - 1) * stride + 1 : stride, :]
-            blk = tap @ np.ascontiguousarray(w[:, :, i, j].T)  # (B, Ho, Wo, O)
-            if acc is None:
-                acc = blk
-            else:
+            np.matmul(tap, wt[i, j], out=acc if (i, j) == (0, 0) else blk)
+            if (i, j) != (0, 0):
                 np.add(acc, blk, out=acc)
-    return np.ascontiguousarray(acc.transpose(0, 3, 1, 2))
+    acc_t = acc.transpose(0, 3, 1, 2)
+    if out is not None:
+        np.copyto(out, acc_t)
+        return out
+    # Never hand a workspace-backed view to the caller.
+    return acc_t.copy() if workspace is not None else np.ascontiguousarray(acc_t)
 
 
 def _kernel_rfft2(w: Array, fft_shape: tuple[int, int], conj: bool) -> Array:
@@ -123,7 +161,8 @@ def _kernel_rfft2(w: Array, fft_shape: tuple[int, int], conj: bool) -> Array:
     return fw
 
 
-def _corr_fft(xp: Array, w: Array, stride: int) -> Array:
+def _corr_fft(xp: Array, w: Array, stride: int, out: Array | None = None,
+              workspace: dict | None = None) -> Array:
     if stride != 1:
         raise ValueError("fft backend supports stride 1 only")
     B, C, H, W = xp.shape
@@ -131,23 +170,32 @@ def _corr_fft(xp: Array, w: Array, stride: int) -> Array:
     fx = np.fft.rfft2(xp)
     fw = _kernel_rfft2(w, (H, W), conj=True)
     fy = np.einsum("bchw,ochw->bohw", fx, fw, optimize=True)
-    out = np.fft.irfft2(fy, s=(H, W))[:, :, : H - kh + 1, : W - kw + 1]
-    return np.ascontiguousarray(out.astype(xp.dtype, copy=False))
+    res = np.fft.irfft2(fy, s=(H, W))[:, :, : H - kh + 1, : W - kw + 1]
+    if out is not None:
+        np.copyto(out, res)
+        return out
+    return np.ascontiguousarray(res.astype(xp.dtype, copy=False))
 
 
 # ----------------------------------------------------------------------
 # weight-gradient primitive
 #   gw[o, c, i, j] = sum_{b,h,w} g[b, o, h, w] * xp[b, c, h*s + i, w*s + j]
 # ----------------------------------------------------------------------
-def _wgrad_im2col(g: Array, xp: Array, kh: int, kw: int, stride: int) -> Array:
+def _wgrad_im2col(g: Array, xp: Array, kh: int, kw: int, stride: int,
+                  out: Array | None = None,
+                  workspace: dict | None = None) -> Array:
     win = sliding_window_view(xp, (kh, kw), axis=(2, 3))[:, :, ::stride, ::stride]
-    return np.einsum("bohw,bchwij->ocij", g, win, optimize=True)
+    return np.einsum("bohw,bchwij->ocij", g, win, optimize=True, out=out)
 
 
-def _wgrad_matmul(g: Array, xp: Array, kh: int, kw: int, stride: int) -> Array:
+def _wgrad_matmul(g: Array, xp: Array, kh: int, kw: int, stride: int,
+                  out: Array | None = None,
+                  workspace: dict | None = None) -> Array:
     B, O, Ho, Wo = g.shape
     C = xp.shape[1]
-    gw = np.empty((O, C, kh, kw), dtype=np.result_type(g, xp))
+    gw = out if out is not None else np.empty(
+        (O, C, kh, kw), dtype=np.result_type(g, xp)
+    )
     for i in range(kh):
         for j in range(kw):
             tap = xp[:, :, i : i + (Ho - 1) * stride + 1 : stride,
@@ -156,7 +204,9 @@ def _wgrad_matmul(g: Array, xp: Array, kh: int, kw: int, stride: int) -> Array:
     return gw
 
 
-def _wgrad_fft(g: Array, xp: Array, kh: int, kw: int, stride: int) -> Array:
+def _wgrad_fft(g: Array, xp: Array, kh: int, kw: int, stride: int,
+               out: Array | None = None,
+               workspace: dict | None = None) -> Array:
     if stride != 1:
         raise ValueError("fft backend supports stride 1 only")
     H, W = xp.shape[2:]
@@ -164,6 +214,9 @@ def _wgrad_fft(g: Array, xp: Array, kh: int, kw: int, stride: int) -> Array:
     fg = np.conj(np.fft.rfft2(g, s=(H, W)))
     fw = np.einsum("bchw,bohw->ochw", fx, fg, optimize=True)
     gw = np.fft.irfft2(fw, s=(H, W))[:, :, :kh, :kw]
+    if out is not None:
+        np.copyto(out, gw)
+        return out
     return np.ascontiguousarray(gw.astype(xp.dtype, copy=False))
 
 
@@ -182,13 +235,31 @@ _WGRAD_BACKENDS: dict[str, Callable[..., Array]] = {
 # ----------------------------------------------------------------------
 # plan cache
 # ----------------------------------------------------------------------
+_key_memo: dict[tuple, str] = {}
+
+
 def _plan_key(op: str, B: int, C: int, H: int, W: int, O: int,
               kh: int, kw: int, stride: int, dtype) -> str:
-    return f"{op}|b{B}c{C}h{H}w{W}o{O}k{kh}x{kw}s{stride}|{dtype}"
+    memo = (op, B, C, H, W, O, kh, kw, stride, dtype)
+    key = _key_memo.get(memo)
+    if key is None:
+        key = f"{op}|b{B}c{C}h{H}w{W}o{O}k{kh}x{kw}s{stride}|{dtype}"
+        _key_memo[memo] = key
+    return key
 
 
-def _heuristic(kh: int, kw: int) -> str:
-    return "matmul" if kh == 1 and kw == 1 else "im2col"
+def _heuristic(op: str, kh: int, kw: int) -> str:
+    # Forward correlations: the shifted-GEMM backend beats im2col's
+    # window materialisation for small kernels (one GEMM per tap, no
+    # column copy), and degenerates to a single matmul for 1x1.  The
+    # weight-grad adjoint contracts over the batch *and* both spatial
+    # axes, which the einsum formulation handles in one fused pass, so
+    # it stays on im2col except for pointwise kernels.
+    if kh == 1 and kw == 1:
+        return "matmul"
+    if op == "corr" and kh * kw <= 9:
+        return "matmul"
+    return "im2col"
 
 
 def _eligible(stride: int) -> tuple[str, ...]:
@@ -287,58 +358,75 @@ def _run_observed(op: str, tag: str, key: str, backend: str,
 
 
 def _dispatch(op: str, key: str, cells: int, kh: int, kw: int, stride: int,
-              run: Callable[[str], Array], tag: str = "") -> Array:
+              run: Callable[[str, Array | None], Array], tag: str = "",
+              out: Array | None = None) -> Array:
     if obs_trace.active() is not None:
         inner = run
-        run = lambda backend: _run_observed(op, tag, key, backend, inner)
+        run = lambda backend, dst: _run_observed(
+            op, tag, key, backend, lambda name: inner(name, dst)
+        )
     override = conv_backend_override()
     if override is not None:
         if override not in _eligible(stride):
             override = "im2col"
-        return run(override)
+        return run(override, out)
     _load_persisted()
     plan = _plans.get(key)
     if plan is not None:
-        return run(plan["backend"])
+        return run(plan["backend"], out)
     if cells < CALIBRATE_MIN_CELLS:
-        backend = _heuristic(kh, kw)
+        backend = _heuristic(op, kh, kw)
         _plans[key] = {"backend": backend, "source": "heuristic"}
-        return run(backend)
-    _, out = _calibrate(key, _eligible(stride), run)
-    return out
+        return run(backend, out)
+    # Calibration runs every backend; each must get its own result array,
+    # so `out` is only filled from the winner afterwards.
+    _, result = _calibrate(key, _eligible(stride), lambda name: run(name, None))
+    if out is not None:
+        np.copyto(out, result)
+        return out
+    return result
 
 
 # ----------------------------------------------------------------------
 # public API
 # ----------------------------------------------------------------------
-def corr2d(xp: Array, w: Array, stride: int = 1, tag: str = "") -> Array:
+def corr2d(xp: Array, w: Array, stride: int = 1, tag: str = "",
+           out: Array | None = None, workspace: dict | None = None) -> Array:
     """Valid cross-correlation ``xp (B,C,H,W) * w (O,C,kh,kw)``.
 
     ``xp`` must already carry any zero padding; the selected backend is
     shape-planned (see module docstring).  ``tag`` labels the call for
     observability only (``"fwd"`` / ``"bwd_input"`` from the conv
-    layers); it never affects dispatch or numerics.
+    layers); it never affects dispatch or numerics.  ``out`` receives the
+    result in place and ``workspace`` (a caller-owned dict) preserves the
+    im2col scratch across calls (captured-graph replay); values are
+    bitwise identical either way — backends that cannot write in place
+    compute normally and copy, backends without scratch ignore the dict.
     """
     B, C, H, W = xp.shape
     O, _, kh, kw = w.shape
     key = _plan_key("corr", B, C, H, W, O, kh, kw, stride, xp.dtype)
     return _dispatch(
         "corr", key, H * W, kh, kw, stride,
-        lambda name: _CORR_BACKENDS[name](xp, w, stride),
-        tag=tag,
+        lambda name, dst: _CORR_BACKENDS[name](xp, w, stride, out=dst,
+                                               workspace=workspace),
+        tag=tag, out=out,
     )
 
 
 def corr2d_weight_grad(g: Array, xp: Array, kh: int, kw: int,
-                       stride: int = 1, tag: str = "") -> Array:
+                       stride: int = 1, tag: str = "",
+                       out: Array | None = None,
+                       workspace: dict | None = None) -> Array:
     """Kernel-shaped adjoint ``gw[o,c,i,j] = sum g[b,o,h,w] xp[b,c,hs+i,ws+j]``."""
     B, C, H, W = xp.shape
     O = g.shape[1]
     key = _plan_key("wgrad", B, C, H, W, O, kh, kw, stride, xp.dtype)
     return _dispatch(
         "wgrad", key, H * W, kh, kw, stride,
-        lambda name: _WGRAD_BACKENDS[name](g, xp, kh, kw, stride),
-        tag=tag,
+        lambda name, dst: _WGRAD_BACKENDS[name](g, xp, kh, kw, stride, out=dst,
+                                                workspace=workspace),
+        tag=tag, out=out,
     )
 
 
@@ -370,4 +458,5 @@ def clear_caches(reload_persisted: bool = True) -> None:
     global _persisted_loaded
     _plans.clear()
     _kernel_ffts.clear()
+    _key_memo.clear()
     _persisted_loaded = not reload_persisted

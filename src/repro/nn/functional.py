@@ -3,13 +3,27 @@
 These mirror the torch functions the paper names in Eq. 10 — ``VAR``,
 ``SUM``, ``ABS``, ``MEAN``, ``ONES``, ``SIGMOID`` — plus the activations
 and tensor surgery (concat, pad) the UNet needs.
+
+Under graph capture (:mod:`repro.nn.capture`) each op additionally
+installs a ``_replay`` closure that recomputes its output — and any
+state its backward closure captured (masks, gate arrays) — in place via
+``out=`` ufuncs.  Every closure applies the same ufuncs to the same
+operands as the eager path, so replayed values are bitwise identical.
+Scratch buffers the closures need are allocated once at trace time and
+reported to the recorder for arena accounting.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from .tensor import Array, Tensor
+from .tensor import Array, Tensor, capture_recorder
+
+
+def _note(*buffers: np.ndarray) -> None:
+    recorder = capture_recorder()
+    if recorder is not None:
+        recorder.note_workspace(sum(b.nbytes for b in buffers))
 
 
 def relu(x: Tensor) -> Tensor:
@@ -21,6 +35,13 @@ def relu(x: Tensor) -> Tensor:
             x._accumulate(grad * mask)
 
     out._backward = backward
+    if capture_recorder() is not None:
+
+        def replay() -> None:
+            np.maximum(x.data, 0.0, out=out.data)
+            np.greater(x.data, 0, out=mask)
+
+        out._replay = replay
     return out
 
 
@@ -33,6 +54,17 @@ def leaky_relu(x: Tensor, negative_slope: float = 0.01) -> Tensor:
             x._accumulate(grad * scale)
 
     out._backward = backward
+    if capture_recorder() is not None:
+        mask = np.empty(x.data.shape, dtype=bool)
+        _note(mask)
+
+        def replay() -> None:
+            np.greater(x.data, 0, out=mask)
+            np.copyto(scale, negative_slope)
+            np.copyto(scale, 1.0, where=mask)
+            np.multiply(x.data, scale, out=out.data)
+
+        out._replay = replay
     return out
 
 
@@ -45,6 +77,20 @@ def sigmoid(x: Tensor) -> Tensor:
             x._accumulate(grad * value * (1.0 - value))
 
     out._backward = backward
+    if capture_recorder() is not None:
+        tmp = np.empty_like(value)
+        _note(tmp)
+
+        def replay() -> None:
+            # `value` is out.data (same-dtype construction), so refreshing
+            # the output also refreshes the backward state.
+            np.clip(x.data, -60.0, 60.0, out=tmp)
+            np.negative(tmp, out=tmp)
+            np.exp(tmp, out=tmp)
+            np.add(1.0, tmp, out=tmp)
+            np.divide(1.0, tmp, out=value)
+
+        out._replay = replay
     return out
 
 
@@ -57,6 +103,8 @@ def tanh(x: Tensor) -> Tensor:
             x._accumulate(grad * (1.0 - value**2))
 
     out._backward = backward
+    if capture_recorder() is not None:
+        out._replay = lambda: np.tanh(x.data, out=value)
     return out
 
 
@@ -72,6 +120,26 @@ def softplus(x: Tensor, beta: float = 1.0) -> Tensor:
             x._accumulate(grad * sig)
 
     out._backward = backward
+    if capture_recorder() is not None:
+        branch = np.empty_like(z)
+        high = np.empty(z.shape, dtype=bool)
+        _note(z, branch, high, sig)
+
+        def replay() -> None:
+            np.multiply(beta, x.data, out=z)
+            np.minimum(z, 30, out=branch)
+            np.exp(branch, out=branch)
+            np.log1p(branch, out=branch)
+            np.greater(z, 30, out=high)
+            np.copyto(branch, z, where=high)
+            np.divide(branch, beta, out=value)
+            np.clip(z, -60.0, 60.0, out=branch)
+            np.negative(branch, out=branch)
+            np.exp(branch, out=branch)
+            np.add(1.0, branch, out=branch)
+            np.divide(1.0, branch, out=sig)
+
+        out._replay = replay
     return out
 
 
@@ -79,7 +147,9 @@ def maximum(x: Tensor, other) -> Tensor:
     """Elementwise max; ties route the gradient to ``x`` (subgradient)."""
     other = Tensor._lift(other)
     out = Tensor(np.maximum(x.data, other.data), _parents=(x, other))
-    take_x = x.data >= other.data
+    # asarray: comparing 0-d operands yields a numpy scalar, which cannot
+    # serve as the ``out=`` target of the replay refresh below.
+    take_x = np.asarray(x.data >= other.data)
 
     def backward(grad: Array) -> None:
         if x.requires_grad:
@@ -88,13 +158,20 @@ def maximum(x: Tensor, other) -> Tensor:
             other._accumulate(grad * ~take_x)
 
     out._backward = backward
+    if capture_recorder() is not None:
+
+        def replay() -> None:
+            np.maximum(x.data, other.data, out=out.data)
+            np.greater_equal(x.data, other.data, out=take_x)
+
+        out._replay = replay
     return out
 
 
 def minimum(x: Tensor, other) -> Tensor:
     other = Tensor._lift(other)
     out = Tensor(np.minimum(x.data, other.data), _parents=(x, other))
-    take_x = x.data <= other.data
+    take_x = np.asarray(x.data <= other.data)
 
     def backward(grad: Array) -> None:
         if x.requires_grad:
@@ -103,19 +180,37 @@ def minimum(x: Tensor, other) -> Tensor:
             other._accumulate(grad * ~take_x)
 
     out._backward = backward
+    if capture_recorder() is not None:
+
+        def replay() -> None:
+            np.minimum(x.data, other.data, out=out.data)
+            np.less_equal(x.data, other.data, out=take_x)
+
+        out._replay = replay
     return out
 
 
 def clip(x: Tensor, lo: float, hi: float) -> Tensor:
     """Clamp with pass-through gradient inside the interval."""
     out = Tensor(np.clip(x.data, lo, hi), _parents=(x,))
-    inside = (x.data >= lo) & (x.data <= hi)
+    inside = np.asarray((x.data >= lo) & (x.data <= hi))
 
     def backward(grad: Array) -> None:
         if x.requires_grad:
             x._accumulate(grad * inside)
 
     out._backward = backward
+    if capture_recorder() is not None:
+        below = np.empty(x.data.shape, dtype=bool)
+        _note(below)
+
+        def replay() -> None:
+            np.clip(x.data, lo, hi, out=out.data)
+            np.greater_equal(x.data, lo, out=inside)
+            np.less_equal(x.data, hi, out=below)
+            np.logical_and(inside, below, out=inside)
+
+        out._replay = replay
     return out
 
 
@@ -137,6 +232,18 @@ def concat(tensors: list[Tensor], axis: int = 0) -> Tensor:
                 t._accumulate(grad[tuple(index)])
 
     out._backward = backward
+    if capture_recorder() is not None:
+        slots = []
+        for t, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            index = [slice(None)] * out.ndim
+            index[axis] = slice(int(start), int(stop))
+            slots.append((tuple(index), t))
+
+        def replay() -> None:
+            for index, t in slots:
+                np.copyto(out.data[index], t.data)
+
+        out._replay = replay
     return out
 
 
@@ -154,6 +261,11 @@ def pad2d(x: Tensor, pad: tuple[int, int, int, int]) -> Tensor:
             x._accumulate(grad[..., top : top + h, left : left + w])
 
     out._backward = backward
+    if capture_recorder() is not None:
+        # The zero border never changes; only the interior is refreshed.
+        out._replay = lambda: np.copyto(
+            out.data[..., top : top + h, left : left + w], x.data
+        )
     return out
 
 

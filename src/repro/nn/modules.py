@@ -21,6 +21,12 @@ class Module:
 
     def __init__(self):
         self.training = True
+        #: Bumped whenever parameter/buffer *objects* are re-bound
+        #: (``load_state_dict``, ``to_dtype``).  Captured-graph plans key
+        #: on it: replay closures read parameter arrays live, so in-place
+        #: value updates are safe, but a re-bind swaps the array object a
+        #: traced view aliases and must invalidate the plan.
+        self._state_version = 0
 
     # -- forward ---------------------------------------------------------
     def forward(self, *args, **kwargs):
@@ -97,6 +103,7 @@ class Module:
             p.data = state[name].astype(np.float64).copy()
         for name, buf in buffers.items():
             buf[...] = state[f"buffer:{name}"]
+        self._state_version += 1
 
     def to_dtype(self, dtype) -> "Module":
         """Cast every parameter and buffer to ``dtype`` in place.
@@ -114,6 +121,7 @@ class Module:
             setattr(self, name, getattr(self, name).astype(dtype))
         for _, child in self._children():
             child.to_dtype(dtype)
+        self._state_version += 1
         return self
 
     def zero_grad(self) -> None:

@@ -12,10 +12,25 @@ Only the ops the CMP network needs are implemented, but they are
 implemented generally (full numpy broadcasting, arbitrary shapes).
 Convolution and pooling live in :mod:`repro.nn.conv`; additional
 activations and reductions in :mod:`repro.nn.functional`.
+
+Graph capture (:mod:`repro.nn.capture`)
+---------------------------------------
+While a recorder is installed via :func:`recording`, every op attaches a
+``_replay`` closure to its output that recomputes ``out.data`` **in
+place** (``out=``-style ufuncs) from the parents' live ``.data`` arrays
+and refreshes any state the backward closure captured (masks, argmax
+indices).  The retained eager graph then doubles as a preallocated
+workspace arena: re-running the closures in topological order replays
+the identical forward pass with zero graph construction and zero new
+intermediate arrays, bitwise equal to eager because every closure uses
+the same ufunc on the same operands.  Ops whose output is a numpy *view*
+of a parent (reshape/transpose/basic slicing) need no closure at all —
+in-place parent updates propagate through the view.
 """
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from typing import Callable, Iterable, Iterator, Sequence
 
@@ -62,6 +77,33 @@ def compute_dtype(dtype) -> Iterator[None]:
         set_default_dtype(previous)
 
 
+# ----------------------------------------------------------------------
+# graph capture hook (consumed by repro.nn.capture)
+# ----------------------------------------------------------------------
+_TRACE = threading.local()
+
+
+def capture_recorder():
+    """This thread's active graph recorder, or ``None`` in eager mode.
+
+    Ops consult it to decide whether to attach ``_replay`` closures; the
+    recorder itself only needs to expose ``note_workspace(nbytes)`` (for
+    arena accounting of op-private scratch buffers).
+    """
+    return getattr(_TRACE, "recorder", None)
+
+
+@contextmanager
+def recording(recorder) -> Iterator[None]:
+    """Install ``recorder`` as this thread's capture recorder."""
+    previous = getattr(_TRACE, "recorder", None)
+    _TRACE.recorder = recorder
+    try:
+        yield
+    finally:
+        _TRACE.recorder = previous
+
+
 def _unbroadcast(grad: Array, shape: tuple[int, ...]) -> Array:
     """Reduce ``grad`` back to ``shape`` by summing broadcast dimensions."""
     if grad.shape == shape:
@@ -79,6 +121,26 @@ def _as_array(value) -> Array:
     return arr
 
 
+def _pow_value(base: Array, exponent: float, out: Array | None = None) -> Array:
+    """Scalar power with explicit fast paths, shared by the eager forward
+    and the capture replay so both are bitwise identical by construction
+    (numpy's ``**`` fast-path set would otherwise be an implementation
+    detail the replay could diverge from)."""
+    if out is None:
+        out = np.empty_like(base)
+    if exponent == 2.0:
+        np.square(base, out=out)
+    elif exponent == 0.5:
+        np.sqrt(base, out=out)
+    elif exponent == 1.0:
+        np.copyto(out, base)
+    elif exponent == -1.0:
+        np.reciprocal(base, out=out)
+    else:
+        np.power(base, exponent, out=out)
+    return out
+
+
 class Tensor:
     """A numpy array with an optional gradient and autodiff history.
 
@@ -91,7 +153,8 @@ class Tensor:
         requires_grad: whether this tensor participates in autodiff.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents")
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents",
+                 "_replay", "_grad_buf", "__weakref__")
 
     def __init__(
         self,
@@ -107,6 +170,12 @@ class Tensor:
         )
         self._parents = tuple(_parents)
         self._backward = _backward
+        #: In-place forward recomputation installed under capture tracing
+        #: (None in eager mode and for view/leaf nodes).
+        self._replay: Callable[[], None] | None = None
+        #: Gradient arena slot assigned by a captured plan; when set,
+        #: :meth:`_accumulate` reuses it instead of allocating.
+        self._grad_buf: Array | None = None
 
     # ------------------------------------------------------------------
     # basic protocol
@@ -151,7 +220,14 @@ class Tensor:
     def _accumulate(self, grad: Array) -> None:
         grad = _unbroadcast(grad, self.data.shape)
         if self.grad is None:
-            self.grad = grad.copy()
+            buf = self._grad_buf
+            if buf is None:
+                self.grad = grad.copy()
+            else:
+                np.copyto(buf, grad)
+                self.grad = buf
+        elif self.grad is self._grad_buf:
+            np.add(self.grad, grad, out=self.grad)
         else:
             self.grad = self.grad + grad
 
@@ -173,6 +249,8 @@ class Tensor:
                 other._accumulate(grad)
 
         out._backward = backward
+        if capture_recorder() is not None:
+            out._replay = lambda: np.add(self.data, other.data, out=out.data)
         return out
 
     __radd__ = __add__
@@ -185,6 +263,8 @@ class Tensor:
                 self._accumulate(-grad)
 
         out._backward = backward
+        if capture_recorder() is not None:
+            out._replay = lambda: np.negative(self.data, out=out.data)
         return out
 
     def __sub__(self, other) -> "Tensor":
@@ -204,6 +284,8 @@ class Tensor:
                 other._accumulate(grad * self.data)
 
         out._backward = backward
+        if capture_recorder() is not None:
+            out._replay = lambda: np.multiply(self.data, other.data, out=out.data)
         return out
 
     __rmul__ = __mul__
@@ -219,6 +301,8 @@ class Tensor:
                 other._accumulate(-grad * self.data / (other.data**2))
 
         out._backward = backward
+        if capture_recorder() is not None:
+            out._replay = lambda: np.divide(self.data, other.data, out=out.data)
         return out
 
     def __rtruediv__(self, other) -> "Tensor":
@@ -227,13 +311,16 @@ class Tensor:
     def __pow__(self, exponent: float) -> "Tensor":
         if not np.isscalar(exponent):
             raise TypeError("only scalar exponents are supported")
-        out = Tensor(self.data**exponent, _parents=(self,))
+        exponent = float(exponent)
+        out = Tensor(_pow_value(self.data, exponent), _parents=(self,))
 
         def backward(grad: Array) -> None:
             if self.requires_grad:
                 self._accumulate(grad * exponent * self.data ** (exponent - 1))
 
         out._backward = backward
+        if capture_recorder() is not None:
+            out._replay = lambda: _pow_value(self.data, exponent, out=out.data)
         return out
 
     def __matmul__(self, other) -> "Tensor":
@@ -253,6 +340,8 @@ class Tensor:
                 )
 
         out._backward = backward
+        if capture_recorder() is not None:
+            out._replay = lambda: np.matmul(self.data, other.data, out=out.data)
         return out
 
     # ------------------------------------------------------------------
@@ -268,6 +357,14 @@ class Tensor:
                 self._accumulate(grad.reshape(self.data.shape))
 
         out._backward = backward
+        if capture_recorder() is not None and not np.may_share_memory(
+            out.data, self.data
+        ):
+            # Copy-reshape (non-contiguous source): refresh the C-order
+            # copy in place.  View outputs need no closure at all.
+            out._replay = lambda: np.copyto(
+                out.data.reshape(self.data.shape), self.data
+            )
         return out
 
     def transpose(self, *axes) -> "Tensor":
@@ -283,6 +380,10 @@ class Tensor:
                 self._accumulate(grad.transpose(inverse))
 
         out._backward = backward
+        if capture_recorder() is not None and not np.may_share_memory(
+            out.data, self.data
+        ):
+            out._replay = lambda: np.copyto(out.data, self.data.transpose(axes))
         return out
 
     def __getitem__(self, key) -> "Tensor":
@@ -295,6 +396,10 @@ class Tensor:
                 self._accumulate(full)
 
         out._backward = backward
+        if capture_recorder() is not None and not np.may_share_memory(
+            out.data, self.data
+        ):
+            out._replay = lambda: np.copyto(out.data, self.data[key])
         return out
 
     # ------------------------------------------------------------------
@@ -312,6 +417,10 @@ class Tensor:
             self._accumulate(np.broadcast_to(g, self.data.shape))
 
         out._backward = backward
+        if capture_recorder() is not None:
+            out._replay = lambda: np.sum(
+                self.data, axis=axis, keepdims=keepdims, out=out.data
+            )
         return out
 
     def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
@@ -338,6 +447,8 @@ class Tensor:
                 self._accumulate(grad * np.sign(self.data))
 
         out._backward = backward
+        if capture_recorder() is not None:
+            out._replay = lambda: np.absolute(self.data, out=out.data)
         return out
 
     def exp(self) -> "Tensor":
@@ -349,6 +460,10 @@ class Tensor:
                 self._accumulate(grad * value)
 
         out._backward = backward
+        if capture_recorder() is not None:
+            # `value` is out.data (same dtype => _as_array kept the array),
+            # so the in-place refresh also updates the backward state.
+            out._replay = lambda: np.exp(self.data, out=out.data)
         return out
 
     def log(self) -> "Tensor":
@@ -359,6 +474,8 @@ class Tensor:
                 self._accumulate(grad / self.data)
 
         out._backward = backward
+        if capture_recorder() is not None:
+            out._replay = lambda: np.log(self.data, out=out.data)
         return out
 
     def sqrt(self) -> "Tensor":
@@ -367,30 +484,22 @@ class Tensor:
     # ------------------------------------------------------------------
     # backward pass
     # ------------------------------------------------------------------
-    def backward(self, grad: Array | None = None) -> None:
+    def backward(self, grad: Array | None = None,
+                 retain_graph: bool = False) -> None:
         """Backpropagate from this tensor through the recorded graph.
 
         Args:
             grad: upstream gradient; defaults to ones (i.e. ``d self /
                 d self = 1``), the usual choice for scalar losses.
+            retain_graph: keep ``_parents``/``_backward`` references after
+                the sweep.  By default they are dropped so a long-lived
+                result tensor no longer pins every intermediate of its
+                forward graph in memory; pass True to backpropagate
+                through the same graph again (graph capture does).
         """
         if not self.requires_grad:
             raise RuntimeError("called backward() on a tensor that does not require grad")
-        topo: list[Tensor] = []
-        visited: set[int] = set()
-        stack: list[tuple[Tensor, bool]] = [(self, False)]
-        while stack:
-            node, processed = stack.pop()
-            if processed:
-                topo.append(node)
-                continue
-            if id(node) in visited:
-                continue
-            visited.add(id(node))
-            stack.append((node, True))
-            for parent in node._parents:
-                if id(parent) not in visited and parent.requires_grad:
-                    stack.append((parent, False))
+        topo = topo_sort(self)
 
         seed = np.ones_like(self.data) if grad is None else _as_array(grad)
         if seed.shape != self.data.shape:
@@ -399,6 +508,37 @@ class Tensor:
         for node in reversed(topo):
             if node._backward is not None and node.grad is not None:
                 node._backward(node.grad)
+        if not retain_graph:
+            for node in topo:
+                node._backward = None
+                node._parents = ()
+
+
+def topo_sort(root: Tensor) -> list[Tensor]:
+    """Topological order of ``root``'s gradient-requiring ancestry.
+
+    Exactly the order :meth:`Tensor.backward` sweeps (parents before
+    children; the reverse sweep visits children first).  Shared with the
+    capture executor so a replayed backward pass walks the identical
+    node sequence — and therefore accumulates gradients in the identical
+    floating-point order — as the eager pass it traced.
+    """
+    topo: list[Tensor] = []
+    visited: set[int] = set()
+    stack: list[tuple[Tensor, bool]] = [(root, False)]
+    while stack:
+        node, processed = stack.pop()
+        if processed:
+            topo.append(node)
+            continue
+        if id(node) in visited:
+            continue
+        visited.add(id(node))
+        stack.append((node, True))
+        for parent in node._parents:
+            if id(parent) not in visited and parent.requires_grad:
+                stack.append((parent, False))
+    return topo
 
 
 def parameters_of(tensors: Iterable[Tensor]) -> list[Tensor]:

@@ -28,7 +28,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..layout.layout import DUMMY_SIDE_UM, Layout
-from ..nn.tensor import Tensor
+from ..nn.tensor import Tensor, capture_recorder
 
 #: Channel count of the layout parameter matrix.
 NUM_FEATURE_CHANNELS: int = 4
@@ -111,11 +111,35 @@ def extract_parameter_matrix(fill: Tensor, consts: ExtractionConstants) -> Tenso
     # original one; the smooth branch uses a tiny floor to stay finite.
     safe_total = total + 1e-9
     width = (width0 * Tensor(wire_area) + fill * side) / safe_total
+    # The empty-window mask is applied unconditionally (keep == 1 and
+    # fallback == 0 wherever the window holds copper) so the op structure
+    # is data-independent — required for captured-graph replay, where the
+    # traced graph must serve every future fill value.
     empty = (wire_area + np.maximum(fill.data, 0.0)) <= 0
-    if np.any(empty):
-        width = width * Tensor((~empty).astype(float)) + Tensor(
-            consts.wire_width * empty
+    keep = Tensor((~empty).astype(float))
+    fallback = Tensor(consts.wire_width * empty)
+    recorder = capture_recorder()
+    if recorder is not None:
+        wire_width = consts.wire_width
+        mtmp = np.empty_like(fill.data)
+        stmp = np.empty(empty.shape, dtype=np.result_type(wire_area, mtmp))
+        nkeep = np.empty(empty.shape, dtype=bool)
+        recorder.note_workspace(
+            mtmp.nbytes + stmp.nbytes + empty.nbytes + nkeep.nbytes
         )
+
+        def refresh() -> None:
+            np.maximum(fill.data, 0.0, out=mtmp)
+            np.add(wire_area, mtmp, out=stmp)
+            np.less_equal(stmp, 0.0, out=empty)
+            np.logical_not(empty, out=nkeep)
+            np.copyto(keep.data, nkeep)
+            np.multiply(wire_width, empty, out=fallback.data)
+
+        # Leaves have no compute of their own; this refresh runs before
+        # any consumer in the replay's topological order.
+        keep._replay = refresh
+    width = width * keep + fallback
 
     # (L, N, M) -> batch of L images; (K, L, N, M) -> batch of K * L.
     batch = int(np.prod(fill.shape[:-2]))

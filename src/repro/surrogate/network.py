@@ -8,22 +8,35 @@ returns ``dS_plan/dx`` through the chain rule of Eq. 11 — the paper's
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import threading
+from collections import OrderedDict
+from dataclasses import astuple, dataclass
 
 import numpy as np
 
+from ..config import capture_enabled_default, capture_max_plans_default
 from ..layout.layout import Layout
 from ..nn import functional as F
+from ..nn.capture import CaptureMiss, CapturedGraph
 from ..nn.modules import Module
-from ..nn.tensor import Tensor
+from ..nn.tensor import Tensor, get_default_dtype
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
 from .extraction import ExtractionConstants, extract_parameter_matrix
 from .objectives import (
     DEFAULT_ETA,
     PlanarityBreakdown,
     PlanarityWeights,
+    breakdown_from_terms,
+    breakdowns_from_terms,
     planarity_score,
     planarity_score_batch,
+    planarity_terms,
 )
+
+#: Plan-cache slot for signatures whose trace failed: fall back to eager
+#: permanently instead of re-tracing (and re-failing) every call.
+_BROKEN = object()
 
 
 @dataclass(frozen=True)
@@ -127,12 +140,123 @@ class CmpNeuralNetwork:
     """
 
     def __init__(self, layout: Layout, unet: Module,
-                 normalizer: HeightNormalizer, eta: float = DEFAULT_ETA):
+                 normalizer: HeightNormalizer, eta: float = DEFAULT_ETA,
+                 capture: bool | None = None):
         self.layout = layout
         self.unet = unet.eval()
         self.normalizer = normalizer
         self.eta = eta
         self.consts = ExtractionConstants.from_layout(layout)
+        #: Captured-graph replay (trace-once/run-many; bitwise identical
+        #: to eager).  ``None`` defers to ``REPRO_CAPTURE`` (default on).
+        self.capture = capture_enabled_default() if capture is None else bool(capture)
+        self._plans: OrderedDict[tuple, object] = OrderedDict()
+        self._plans_lock = threading.Lock()
+        self._max_plans = capture_max_plans_default()
+        self._capture_counts = {"trace": 0, "replay": 0, "miss": 0, "bypass": 0}
+
+    # ------------------------------------------------------------------
+    # captured-graph plumbing
+    # ------------------------------------------------------------------
+    def capture_stats(self) -> dict:
+        """Capture counters plus the live plan table (for benches/tests)."""
+        with self._plans_lock:
+            plans = {
+                repr(key): plan.arena_bytes
+                for key, plan in self._plans.items()
+                if plan is not _BROKEN
+            }
+            return {
+                **self._capture_counts,
+                "plans": plans,
+                "arena_bytes": sum(plans.values()),
+            }
+
+    def _capture_key(self, kind: str, signature: tuple,
+                     weights: PlanarityWeights) -> tuple:
+        return (
+            kind,
+            signature,
+            str(get_default_dtype()),
+            getattr(self.unet, "_state_version", None),
+            weights,
+            self.eta,
+        )
+
+    def _captured(self, kind: str, signature: tuple, weights: PlanarityWeights,
+                  build, inputs: dict, seed, want_grad: bool, extract):
+        """Replay (or trace) the plan for one call signature.
+
+        Runs ``extract(plan)`` — which must copy everything it hands out —
+        while the plan lock is still held, so a concurrent replay cannot
+        overwrite the arena mid-read.  Returns ``extract``'s result, or
+        ``None`` when the caller must run eagerly: capture disabled,
+        network in training mode, plan marked broken, a structural miss,
+        or the plan lock contended (another thread is mid-replay on this
+        network — eager is bitwise-identical, so falling back costs only
+        the eager speed).
+        """
+        if not self.capture or getattr(self.unet, "training", False):
+            return None
+        key = self._capture_key(kind, signature, weights)
+        if not self._plans_lock.acquire(blocking=False):
+            self._capture_counts["bypass"] += 1
+            return None
+        try:
+            plan = self._plans.get(key)
+            if plan is _BROKEN:
+                self._capture_counts["bypass"] += 1
+                return None
+            tracer = obs_trace.active()
+            if plan is None:
+                # The trace below IS this call's eager execution; its
+                # backward always runs (even for want_grad=False callers)
+                # so one plan serves both gradient modes.
+                try:
+                    if tracer is not None:
+                        with obs_trace.span("capture.trace", cat="nn", kind=kind):
+                            plan = CapturedGraph.trace(
+                                build, inputs, grad_inputs=("x",),
+                                root="s_plan", seed=seed,
+                            )
+                    else:
+                        plan = CapturedGraph.trace(
+                            build, inputs, grad_inputs=("x",),
+                            root="s_plan", seed=seed,
+                        )
+                except Exception:
+                    self._plans[key] = _BROKEN
+                    return None
+                self._plans[key] = plan
+                while len(self._plans) > self._max_plans:
+                    self._plans.popitem(last=False)
+                self._capture_counts["trace"] += 1
+                if tracer is not None:
+                    obs_metrics.registry().set_gauge(
+                        "capture.arena_bytes",
+                        sum(p.arena_bytes for p in self._plans.values()
+                            if p is not _BROKEN),
+                    )
+                return extract(plan)
+            try:
+                if tracer is not None:
+                    with obs_trace.span("capture.replay", cat="nn", kind=kind):
+                        plan.replay(inputs, seed=seed, want_grad=want_grad)
+                else:
+                    plan.replay(inputs, seed=seed, want_grad=want_grad)
+            except CaptureMiss:
+                self._capture_counts["miss"] += 1
+                if tracer is not None:
+                    obs_trace.event("capture.miss", cat="nn", kind=kind)
+                    obs_metrics.registry().incr("capture.miss")
+                return None
+            self._plans.move_to_end(key)
+            self._capture_counts["replay"] += 1
+            if tracer is not None:
+                obs_metrics.registry().incr("capture.replay")
+            return extract(plan)
+        finally:
+            self._plans_lock.release()
 
     # ------------------------------------------------------------------
     @property
@@ -337,11 +461,7 @@ class CmpNeuralNetwork:
                 f"got {base_heights.shape}")
         L, N, M = fill.shape
         rows, cols = slice(region.sr0, region.sr1), slice(region.sc0, region.sc1)
-        x = Tensor(fill[:, rows, cols], requires_grad=want_grad)
-        matrix = extract_parameter_matrix(x, self.consts.crop(rows, cols))
-        out = self.unet(matrix)  # (L, 1, h, w) normalised
-        h, w = out.shape[2:]
-        patch = self.normalizer.denormalize(out.reshape(L, h, w))
+        h, w = region.crop_shape
         # Keep the core, zero the halo ring: the ring is only context for
         # the convolution and its heights come from base_heights instead.
         core = np.zeros((1, h, w))
@@ -349,11 +469,45 @@ class CmpNeuralNetwork:
              region.c0 - region.sc0:region.c1 - region.sc0] = 1.0
         frozen = base_heights.copy()
         frozen[:, region.r0:region.r1, region.c0:region.c1] = 0.0
-        heights = F.pad2d(
-            patch * Tensor(core),
-            (region.sr0, N - region.sr1, region.sc0, M - region.sc1),
-        ) + Tensor(frozen)
-        s_plan, breakdown = planarity_score(heights, weights, eta=self.eta)
+        pad = (region.sr0, N - region.sr1, region.sc0, M - region.sc1)
+
+        def compose(x: Tensor, frozen_t: Tensor) -> dict[str, Tensor]:
+            matrix = extract_parameter_matrix(x, self.consts.crop(rows, cols))
+            out = self.unet(matrix)  # (L, 1, h, w) normalised
+            patch = self.normalizer.denormalize(out.reshape(L, h, w))
+            heights = F.pad2d(patch * Tensor(core), pad) + frozen_t
+            terms = planarity_terms(heights, weights, eta=self.eta)
+            terms["heights"] = heights
+            return terms
+
+        def build(tensors: dict[str, Tensor]) -> dict[str, Tensor]:
+            return compose(tensors["x"], tensors["frozen"])
+
+        def extract(plan: CapturedGraph) -> PlanarityEvaluation:
+            gradient = None
+            if want_grad:
+                gradient = np.zeros_like(fill)
+                g = plan.grad("x")
+                if g is not None:
+                    gradient[:, rows, cols] = g
+            return PlanarityEvaluation(
+                s_plan=plan.outputs["s_plan"].item(),
+                breakdown=breakdown_from_terms(plan.outputs),
+                heights=plan.output("heights"),
+                gradient=gradient,
+            )
+
+        captured = self._captured(
+            "region", (fill.shape, astuple(region)), weights, build,
+            {"x": fill[:, rows, cols], "frozen": frozen}, None, want_grad,
+            extract,
+        )
+        if captured is not None:
+            return captured
+
+        x = Tensor(fill[:, rows, cols], requires_grad=want_grad)
+        terms = compose(x, Tensor(frozen))
+        s_plan = terms["s_plan"]
         gradient = None
         if want_grad:
             s_plan.backward()
@@ -361,8 +515,8 @@ class CmpNeuralNetwork:
             if x.grad is not None:
                 gradient[:, rows, cols] = x.grad
         return PlanarityEvaluation(
-            s_plan=s_plan.item(), breakdown=breakdown,
-            heights=heights.data, gradient=gradient,
+            s_plan=s_plan.item(), breakdown=breakdown_from_terms(terms),
+            heights=terms["heights"].data, gradient=gradient,
         )
 
     def evaluate(self, fill: np.ndarray, weights: PlanarityWeights,
@@ -374,7 +528,33 @@ class CmpNeuralNetwork:
             weights: the design's score coefficients (Table II subset).
             want_grad: run backpropagation and return ``dS_plan/dx``.
         """
-        x = Tensor(np.asarray(fill, dtype=float), requires_grad=want_grad)
+        fill = np.asarray(fill, dtype=float)
+
+        def build(tensors: dict[str, Tensor]) -> dict[str, Tensor]:
+            heights = self._forward(tensors["x"])
+            terms = planarity_terms(heights, weights, eta=self.eta)
+            terms["heights"] = heights
+            return terms
+
+        def extract(plan: CapturedGraph) -> PlanarityEvaluation:
+            gradient = None
+            if want_grad:
+                gradient = plan.grad("x")
+                if gradient is None:
+                    gradient = np.zeros_like(plan.inputs["x"].data)
+            return PlanarityEvaluation(
+                s_plan=plan.outputs["s_plan"].item(),
+                breakdown=breakdown_from_terms(plan.outputs),
+                heights=plan.output("heights"),
+                gradient=gradient,
+            )
+
+        captured = self._captured("fill", (fill.shape,), weights, build,
+                                  {"x": fill}, None, want_grad, extract)
+        if captured is not None:
+            return captured
+
+        x = Tensor(fill, requires_grad=want_grad)
         heights = self._forward(x)
         s_plan, breakdown = planarity_score(heights, weights, eta=self.eta)
         gradient = None
@@ -424,6 +604,32 @@ class CmpNeuralNetwork:
             if grad_mask.shape != (K,):
                 raise ValueError(f"grad_mask must have shape ({K},), got {grad_mask.shape}")
         need_any = bool(grad_mask.any())
+        seed = grad_mask.astype(float) if need_any else None
+
+        def build(tensors: dict[str, Tensor]) -> dict[str, Tensor]:
+            heights = self._forward(tensors["x"])
+            terms = planarity_terms(heights, weights, eta=self.eta)
+            terms["heights"] = heights
+            return terms
+
+        def extract(plan: CapturedGraph) -> BatchPlanarityEvaluation:
+            gradient = None
+            if need_any:
+                gradient = plan.grad("x")
+                if gradient is None:
+                    gradient = np.zeros_like(fills)
+            return BatchPlanarityEvaluation(
+                s_plan=plan.outputs["s_plan"].data.astype(float, copy=True),
+                breakdowns=breakdowns_from_terms(plan.outputs, K),
+                heights=plan.output("heights"),
+                gradient=gradient,
+            )
+
+        captured = self._captured("batch", (fills.shape,), weights, build,
+                                  {"x": fills}, seed, need_any, extract)
+        if captured is not None:
+            return captured
+
         x = Tensor(fills, requires_grad=need_any)
         heights = self._forward(x)  # (K, L, N, M)
         s_plan, breakdowns = planarity_score_batch(heights, weights, eta=self.eta)

@@ -133,12 +133,14 @@ class PlanarityBreakdown:
     s_plan: float
 
 
-def planarity_score(heights: Tensor, weights: PlanarityWeights,
-                    eta: float = DEFAULT_ETA) -> tuple[Tensor, PlanarityBreakdown]:
-    """Merging layer: objectives -> scores -> ``S_plan`` (Eq. 5b).
+def planarity_terms(heights: Tensor, weights: PlanarityWeights,
+                    eta: float = DEFAULT_ETA) -> dict[str, Tensor]:
+    """Merging layer as named tensors: objectives, scores and ``S_plan``.
 
-    Returns the differentiable score tensor plus a float breakdown for
-    reporting.
+    The tensor-level variant of :func:`planarity_score`, shared with the
+    captured-graph executor, which needs the term *tensors* so replayed
+    breakdowns can be re-read from the refreshed buffers instead of being
+    frozen at build time.
     """
     sigma = height_variance(heights)
     line = line_deviation(heights)
@@ -151,12 +153,51 @@ def planarity_score(heights: Tensor, weights: PlanarityWeights,
         + f_line * weights.alpha_line
         + f_ol * weights.alpha_outlier
     )
-    breakdown = PlanarityBreakdown(
-        sigma=sigma.item(), line=line.item(), outlier=ol.item(),
-        score_sigma=f_sigma.item(), score_line=f_line.item(),
-        score_outlier=f_ol.item(), s_plan=s_plan.item(),
+    return {
+        "sigma": sigma, "line": line, "outlier": ol,
+        "score_sigma": f_sigma, "score_line": f_line, "score_outlier": f_ol,
+        "s_plan": s_plan,
+    }
+
+
+def breakdown_from_terms(terms: dict[str, Tensor]) -> PlanarityBreakdown:
+    """Scalar :class:`PlanarityBreakdown` from :func:`planarity_terms`."""
+    return PlanarityBreakdown(
+        sigma=terms["sigma"].item(), line=terms["line"].item(),
+        outlier=terms["outlier"].item(),
+        score_sigma=terms["score_sigma"].item(),
+        score_line=terms["score_line"].item(),
+        score_outlier=terms["score_outlier"].item(),
+        s_plan=terms["s_plan"].item(),
     )
-    return s_plan, breakdown
+
+
+def breakdowns_from_terms(terms: dict[str, Tensor],
+                          count: int) -> list[PlanarityBreakdown]:
+    """Per-candidate breakdowns from batched ``(K,)`` term tensors."""
+    return [
+        PlanarityBreakdown(
+            sigma=float(terms["sigma"].data[k]),
+            line=float(terms["line"].data[k]),
+            outlier=float(terms["outlier"].data[k]),
+            score_sigma=float(terms["score_sigma"].data[k]),
+            score_line=float(terms["score_line"].data[k]),
+            score_outlier=float(terms["score_outlier"].data[k]),
+            s_plan=float(terms["s_plan"].data[k]),
+        )
+        for k in range(count)
+    ]
+
+
+def planarity_score(heights: Tensor, weights: PlanarityWeights,
+                    eta: float = DEFAULT_ETA) -> tuple[Tensor, PlanarityBreakdown]:
+    """Merging layer: objectives -> scores -> ``S_plan`` (Eq. 5b).
+
+    Returns the differentiable score tensor plus a float breakdown for
+    reporting.
+    """
+    terms = planarity_terms(heights, weights, eta=eta)
+    return terms["s_plan"], breakdown_from_terms(terms)
 
 
 def planarity_score_batch(
@@ -172,24 +213,5 @@ def planarity_score_batch(
     """
     if len(heights.shape) != 4:
         raise ValueError(f"heights must be (K, L, N, M), got {heights.shape}")
-    sigma = height_variance(heights)
-    line = line_deviation(heights)
-    ol = outliers(heights, eta=eta)
-    f_sigma = score_function(sigma, weights.beta_sigma)
-    f_line = score_function(line, weights.beta_line)
-    f_ol = score_function(ol, weights.beta_outlier)
-    s_plan = (
-        f_sigma * weights.alpha_sigma
-        + f_line * weights.alpha_line
-        + f_ol * weights.alpha_outlier
-    )
-    breakdowns = [
-        PlanarityBreakdown(
-            sigma=float(sigma.data[k]), line=float(line.data[k]),
-            outlier=float(ol.data[k]), score_sigma=float(f_sigma.data[k]),
-            score_line=float(f_line.data[k]), score_outlier=float(f_ol.data[k]),
-            s_plan=float(s_plan.data[k]),
-        )
-        for k in range(heights.shape[0])
-    ]
-    return s_plan, breakdowns
+    terms = planarity_terms(heights, weights, eta=eta)
+    return terms["s_plan"], breakdowns_from_terms(terms, heights.shape[0])

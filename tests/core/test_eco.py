@@ -17,7 +17,8 @@ from repro.core import (
 )
 from repro.core.eco import EcoQualityModel
 from repro.core.msp_sqp import QualityModel
-from repro.layout import diff_layouts, dilate_mask, edit_layout
+from repro.layout import (connected_components, diff_layouts,
+                          dilate_mask, edit_layout)
 from repro.layout.designs import DESIGN_BUILDERS
 from repro.nn import UNet
 from repro.optimize import SqpOptimizer
@@ -215,3 +216,102 @@ class TestEcoRefillValidation:
         problem2 = FillProblem(other, coefficients)
         with pytest.raises(ValueError, match="window grid"):
             eco_refill(problem2, bind(other), layout, parent_result)
+
+
+def two_site_setup(layout):
+    """Two 2x2 edits far enough apart that their dilated halos stay
+    disjoint (Chebyshev gap > 2 * halo with coupling_radius=0)."""
+    edited = edit_layout(layout, 1, slice(3, 5), slice(3, 5))
+    edited = edit_layout(edited, 1, slice(30, 32), slice(30, 32),
+                         name_suffix="")
+    coefficients = ScoreCoefficients.calibrated(
+        edited, CmpSimulator(), beta_runtime=60.0)
+    return FillProblem(edited, coefficients), bind(edited)
+
+
+class TestEcoMultiSite:
+    def test_distant_edits_split_into_sites(self, layout, parent_result):
+        problem2, network2 = two_site_setup(layout)
+        result = eco_refill(problem2, network2, layout, parent_result,
+                            optimizer=SqpOptimizer(max_iter=6, tol=1e-9),
+                            coupling_radius=0)
+        extras = result.extras["eco"]
+        halo = network2.receptive_halo()
+        free = dilate_mask(diff_layouts(layout, problem2.layout).dirty, halo)
+        sites = connected_components(free)
+        assert len(sites) == 2
+        assert extras["num_sites"] == 2
+        assert len(extras["sites"]) == 2
+        assert result.starts == 2
+        assert sum(s["free_windows"] for s in extras["sites"]) == \
+            int(free.sum())
+        assert extras["free_windows"] == int(free.sum())
+
+    def test_bitwise_outside_each_site(self, layout, parent_result):
+        problem2, network2 = two_site_setup(layout)
+        result = eco_refill(problem2, network2, layout, parent_result,
+                            optimizer=SqpOptimizer(max_iter=6, tol=1e-9),
+                            coupling_radius=0)
+        halo = network2.receptive_halo()
+        free = dilate_mask(diff_layouts(layout, problem2.layout).dirty, halo)
+        for site in connected_components(free):
+            outside = ~site
+            np.testing.assert_array_equal(
+                result.fill[:, outside & ~free],
+                parent_result.fill[:, outside & ~free])
+        # Global identity outside the whole free set, bit for bit.
+        np.testing.assert_array_equal(result.fill[:, ~free],
+                                      parent_result.fill[:, ~free])
+
+    def test_site_crops_are_smaller_than_union_bbox(self, layout,
+                                                    parent_result):
+        problem2, network2 = two_site_setup(layout)
+        result = eco_refill(problem2, network2, layout, parent_result,
+                            optimizer=SqpOptimizer(max_iter=4, tol=1e-9),
+                            coupling_radius=0)
+        halo = network2.receptive_halo()
+        free = dilate_mask(diff_layouts(layout, problem2.layout).dirty, halo)
+        union = network2.plan_region(free)
+        union_area = ((union.r1 - union.r0) * (union.c1 - union.c0))
+        # On this small grid the halo pads every crop out to the full
+        # chip, but the recomputed *cores* stay per-site: each is a
+        # proper subset of the union bounding box a single-region pass
+        # would have re-solved.
+        for site in result.extras["eco"]["sites"]:
+            r0, r1, c0, c1 = site["core"]
+            assert (r1 - r0) * (c1 - c0) < union_area
+
+    def test_single_site_edit_reports_one_site(self, layout, parent_result):
+        problem2, network2 = edited_setup(layout, 3)
+        result = eco_refill(problem2, network2, layout, parent_result,
+                            optimizer=SqpOptimizer(max_iter=4, tol=1e-9),
+                            coupling_radius=0)
+        extras = result.extras["eco"]
+        assert extras["num_sites"] == 1
+        assert result.starts == 1
+
+    def test_shared_base_heights_match_per_model(self, problem, network,
+                                                 parent_fill):
+        free = np.zeros((GRID, GRID), dtype=bool)
+        free[10:13, 10:13] = True
+        base = network.predict_heights(parent_fill)
+        shared = EcoQualityModel(problem, network, parent_fill, free,
+                                 base_heights=base)
+        owned = EcoQualityModel(problem, network, parent_fill, free)
+        assert shared.evaluations == 0 and owned.evaluations == 1
+        np.testing.assert_array_equal(shared.base_heights,
+                                      owned.base_heights)
+        trial = parent_fill.copy()
+        trial[:, 10:13, 10:13] *= 0.9
+        a = shared.evaluate(trial)
+        b = owned.evaluate(trial)
+        assert a.quality == b.quality
+        np.testing.assert_array_equal(a.gradient, b.gradient)
+
+    def test_bad_base_heights_shape_raises(self, problem, network,
+                                           parent_fill):
+        free = np.zeros((GRID, GRID), dtype=bool)
+        free[5, 5] = True
+        with pytest.raises(ValueError, match="base_heights"):
+            EcoQualityModel(problem, network, parent_fill, free,
+                            base_heights=np.zeros((1, 2, 3)))

@@ -7,6 +7,7 @@ from hypothesis import strategies as st
 
 from repro.layout import (
     LayoutDiff,
+    connected_components,
     diff_layouts,
     dilate_mask,
     edit_layout,
@@ -128,6 +129,67 @@ class TestDilateMask:
                              max(0, j - radius):j + radius + 1]
                 expected[i, j] = bool(block.any())
         assert np.array_equal(out, expected)
+
+
+class TestConnectedComponents:
+    def test_empty_mask(self):
+        assert connected_components(np.zeros((5, 5), bool)) == []
+
+    def test_single_blob(self):
+        mask = np.zeros((6, 6), bool)
+        mask[1:3, 2:5] = True
+        comps = connected_components(mask)
+        assert len(comps) == 1
+        np.testing.assert_array_equal(comps[0], mask)
+
+    def test_diagonal_touch_is_one_component(self):
+        mask = np.zeros((4, 4), bool)
+        mask[0, 0] = mask[1, 1] = True  # corner-to-corner
+        assert len(connected_components(mask)) == 1
+
+    def test_separated_blobs_split(self):
+        mask = np.zeros((10, 10), bool)
+        mask[0:2, 0:2] = True
+        mask[7:9, 7:9] = True
+        mask[0, 8] = True
+        comps = connected_components(mask)
+        assert len(comps) == 3
+
+    def test_components_partition_the_mask(self):
+        rng = np.random.default_rng(0)
+        mask = rng.random((12, 12)) < 0.3
+        comps = connected_components(mask)
+        if not mask.any():
+            assert comps == []
+            return
+        union = np.zeros_like(mask)
+        for comp in comps:
+            assert not (union & comp).any()  # disjoint
+            union |= comp
+        np.testing.assert_array_equal(union, mask)
+
+    def test_row_major_order(self):
+        mask = np.zeros((8, 8), bool)
+        mask[5, 1] = True
+        mask[0, 6] = True
+        comps = connected_components(mask)
+        assert comps[0][0, 6] and comps[1][5, 1]
+
+    def test_components_are_chebyshev_separated(self):
+        # Dilating any single component by 1 never reaches another: the
+        # decomposition matches the receptive-field coupling model.
+        rng = np.random.default_rng(1)
+        mask = rng.random((15, 15)) < 0.2
+        comps = connected_components(mask)
+        for i, comp in enumerate(comps):
+            grown = dilate_mask(comp, 1)
+            for j, other in enumerate(comps):
+                if i != j:
+                    assert not (grown & other).any()
+
+    def test_non_2d_raises(self):
+        with pytest.raises(ValueError, match="2-D"):
+            connected_components(np.zeros((2, 2, 2), bool))
 
 
 class TestEditLayout:

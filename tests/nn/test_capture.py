@@ -1,0 +1,303 @@
+"""Captured-graph replay: bitwise parity, arena reuse, graph teardown.
+
+Every parity assertion here is *bitwise* (``np.array_equal``, not
+``allclose``): the capture executor's contract is that replaying a traced
+plan on new inputs produces exactly the arrays a fresh eager execution
+would — same ufuncs, same operands, same accumulation order.
+"""
+
+import gc
+import weakref
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+from repro.nn.capture import CaptureMiss, CapturedGraph
+from repro.nn.conv import (
+    avg_pool2d,
+    conv2d,
+    conv_transpose2d,
+    max_pool2d,
+    upsample2x,
+)
+from repro.nn.tensor import Tensor
+
+
+def eager_reference(build, values, seed=None):
+    """Fresh eager forward+backward; returns (root value, x grad)."""
+    tensors = {
+        name: Tensor(v, requires_grad=(name == "x"))
+        for name, v in values.items()
+    }
+    out = build(tensors)["root"]
+    out.backward(seed)
+    return out.data.copy(), tensors["x"].grad.copy()
+
+
+def assert_replay_matches_eager(build, trace_values, replay_values,
+                                seed=None):
+    plan = CapturedGraph.trace(build, trace_values, grad_inputs=("x",),
+                               seed=seed)
+    # The trace IS the first eager call.
+    value0, grad0 = eager_reference(build, trace_values, seed)
+    assert np.array_equal(plan.outputs["root"].data, value0)
+    assert np.array_equal(plan.grad("x"), grad0)
+
+    plan.replay(replay_values, seed=seed)
+    value1, grad1 = eager_reference(build, replay_values, seed)
+    assert np.array_equal(plan.outputs["root"].data, value1)
+    assert np.array_equal(plan.grad("x"), grad1)
+    return plan
+
+
+def rng_arrays(*shapes, seed=0, lo=0.1, hi=2.0):
+    rng = np.random.default_rng(seed)
+    return [rng.uniform(lo, hi, size=s) for s in shapes]
+
+
+class TestOpParity:
+    """One composite graph per op family, replayed on fresh values."""
+
+    @pytest.mark.parametrize("name,fn", [
+        ("add", lambda t: (t["x"] + t["y"]).sum()),
+        ("radd_scalar", lambda t: (3.0 + t["x"]).sum()),
+        ("neg_sub", lambda t: (t["x"] - t["y"]).sum()),
+        ("mul", lambda t: (t["x"] * t["y"]).sum()),
+        ("div", lambda t: (t["x"] / t["y"]).sum()),
+        ("pow_square", lambda t: (t["x"] ** 2.0).sum()),
+        ("pow_sqrt", lambda t: (t["x"] ** 0.5).sum()),
+        ("pow_recip", lambda t: (t["x"] ** -1.0).sum()),
+        ("pow_general", lambda t: (t["x"] ** 1.7).sum()),
+        ("abs", lambda t: (t["x"] - 1.0).abs().sum()),
+        ("exp", lambda t: t["x"].exp().sum()),
+        ("log", lambda t: t["x"].log().sum()),
+        ("mean_var", lambda t: t["x"].var(axis=(0, 1)).sum()),
+        ("reshape", lambda t: (t["x"].reshape(6, 4) ** 2.0).sum()),
+        ("transpose",
+         lambda t: (t["x"].transpose(1, 0, 2) * t["x"].transpose(1, 0, 2)).sum()),
+        ("getitem", lambda t: (t["x"][1:, :, ::2] ** 2.0).sum()),
+        ("relu", lambda t: F.relu(t["x"] - 1.0).sum()),
+        ("leaky_relu", lambda t: F.leaky_relu(t["x"] - 1.0, 0.1).sum()),
+        ("sigmoid", lambda t: F.sigmoid(t["x"] - 1.0).sum()),
+        ("tanh", lambda t: F.tanh(t["x"]).sum()),
+        ("softplus", lambda t: F.softplus(t["x"] - 1.0).sum()),
+        ("maximum", lambda t: F.maximum(t["x"] - 1.0, 0.0).sum()),
+        ("minimum", lambda t: F.minimum(t["x"], t["y"]).sum()),
+        ("clip", lambda t: F.clip(t["x"], 0.5, 1.5).sum()),
+        ("concat",
+         lambda t: F.concat([t["x"], t["x"] * 2.0], axis=1).sum()),
+        ("pad2d", lambda t: (F.pad2d(t["x"], (1, 2, 0, 1)) ** 2.0).sum()),
+    ])
+    def test_elementwise_families(self, name, fn):
+        def build(tensors):
+            return {"root": fn(tensors)}
+
+        x0, y0 = rng_arrays((2, 3, 4), (2, 3, 4), seed=1)
+        x1, y1 = rng_arrays((2, 3, 4), (2, 3, 4), seed=2)
+        assert_replay_matches_eager(
+            build, {"x": x0, "y": y0}, {"x": x1, "y": y1})
+
+    def test_matmul(self):
+        def build(tensors):
+            return {"root": (tensors["x"] @ tensors["y"]).sum()}
+
+        x0, y0 = rng_arrays((3, 4), (4, 5), seed=3)
+        x1, y1 = rng_arrays((3, 4), (4, 5), seed=4)
+        assert_replay_matches_eager(
+            build, {"x": x0, "y": y0}, {"x": x1, "y": y1})
+
+    @pytest.mark.parametrize("name,fn", [
+        ("conv", lambda t, w, b: conv2d(t["x"], w, b, padding=1).sum()),
+        ("conv_stride",
+         lambda t, w, b: conv2d(t["x"], w, None, stride=2, padding=1).sum()),
+        ("convT", lambda t, w2, b: conv_transpose2d(
+            t["x"], w2, b, stride=2).sum()),
+        ("maxpool", lambda t, w, b: max_pool2d(t["x"], 2).sum()),
+        ("avgpool", lambda t, w, b: avg_pool2d(t["x"], 2).sum()),
+        ("upsample", lambda t, w, b: (upsample2x(t["x"]) ** 2.0).sum()),
+    ])
+    def test_conv_families(self, name, fn):
+        rng = np.random.default_rng(11)
+        if name == "convT":
+            w = Tensor(rng.standard_normal((3, 2, 2, 2)), requires_grad=True)
+        else:
+            w = Tensor(rng.standard_normal((2, 3, 3, 3)), requires_grad=True)
+        b = Tensor(rng.standard_normal(2), requires_grad=True)
+
+        def build(tensors):
+            return {"root": fn(tensors, w, b)}
+
+        (x0,) = rng_arrays((2, 3, 8, 8), seed=5, lo=-1.0, hi=1.0)
+        (x1,) = rng_arrays((2, 3, 8, 8), seed=6, lo=-1.0, hi=1.0)
+        assert_replay_matches_eager(build, {"x": x0}, {"x": x1})
+
+    def test_nondefault_seed(self):
+        def build(tensors):
+            return {"root": (tensors["x"] ** 2.0).sum(axis=1)}
+
+        (x0,) = rng_arrays((3, 4), seed=7)
+        (x1,) = rng_arrays((3, 4), seed=8)
+        seed = np.array([1.0, -2.0, 0.5])
+        assert_replay_matches_eager(build, {"x": x0}, {"x": x1}, seed=seed)
+
+
+class TestArena:
+    def _plan(self):
+        def build(tensors):
+            hidden = F.relu(tensors["x"] * 2.0 - 1.0)
+            return {"root": (hidden ** 2.0).sum(), "hidden": hidden}
+
+        (x0,) = rng_arrays((4, 5), seed=9)
+        return build, CapturedGraph.trace(
+            build, {"x": x0}, grad_inputs=("x",))
+
+    def test_replay_reuses_buffers(self):
+        build, plan = self._plan()
+        # First replay switches the input gradient onto the arena buffer
+        # (the trace-time gradient was handed to the trace caller).
+        (x1,) = rng_arrays((4, 5), seed=10)
+        plan.replay({"x": x1})
+        data_ids = {name: id(t.data) for name, t in plan.outputs.items()}
+        grad_id = id(plan.inputs["x"].grad)
+        (x2,) = rng_arrays((4, 5), seed=11)
+        plan.replay({"x": x2})
+        for name, t in plan.outputs.items():
+            assert id(t.data) == data_ids[name], name
+        assert id(plan.inputs["x"].grad) == grad_id
+
+    def test_results_are_copies(self):
+        build, plan = self._plan()
+        (x1,) = rng_arrays((4, 5), seed=12)
+        plan.replay({"x": x1})
+        out = plan.output("hidden")
+        grad = plan.grad("x")
+        assert out is not plan.outputs["hidden"].data
+        assert grad is not plan.inputs["x"].grad
+        out[...] = -1.0
+        grad[...] = -1.0
+        assert not np.array_equal(plan.outputs["hidden"].data, out)
+
+    def test_arena_bytes_positive_and_stable(self):
+        _, plan = self._plan()
+        assert plan.arena_bytes > 0
+        before = plan.arena_bytes
+        (x1,) = rng_arrays((4, 5), seed=13)
+        plan.replay({"x": x1})
+        assert plan.arena_bytes == before
+
+    def test_want_grad_false_skips_backward(self):
+        build, plan = self._plan()
+        (x1,) = rng_arrays((4, 5), seed=14)
+        plan.replay({"x": x1}, want_grad=False)
+        assert plan.grad("x") is None
+        value, _ = eager_reference(build, {"x": x1})
+        assert np.array_equal(plan.outputs["root"].data, value)
+
+    def test_param_grads_skipped_on_replay(self):
+        rng = np.random.default_rng(15)
+        w = Tensor(rng.standard_normal((4, 5)), requires_grad=True)
+
+        def build(tensors):
+            return {"root": ((tensors["x"] * w) ** 2.0).sum()}
+
+        (x0,) = rng_arrays((4, 5), seed=16)
+        plan = CapturedGraph.trace(build, {"x": x0}, grad_inputs=("x",))
+        (x1,) = rng_arrays((4, 5), seed=17)
+        plan.replay({"x": x1})
+        # Parameter gradient work is skipped; requires_grad is restored.
+        assert w.grad is None
+        assert w.requires_grad
+        # The input gradient is still bitwise exact.
+        _, grad1 = eager_reference(build, {"x": x1})
+        assert np.array_equal(plan.grad("x"), grad1)
+
+    def test_live_param_updates_flow_into_replays(self):
+        rng = np.random.default_rng(18)
+        w = Tensor(rng.standard_normal((3, 3)), requires_grad=True)
+
+        def build(tensors):
+            return {"root": (tensors["x"] * w).sum()}
+
+        (x0,) = rng_arrays((3, 3), seed=19)
+        plan = CapturedGraph.trace(build, {"x": x0}, grad_inputs=("x",))
+        w.data[...] *= 0.5  # in-place optimizer-style update
+        plan.replay({"x": x0})
+        value, grad = eager_reference(build, {"x": x0})
+        assert np.array_equal(plan.outputs["root"].data, value)
+        assert np.array_equal(plan.grad("x"), grad)
+
+
+class TestCaptureMiss:
+    def _plan(self):
+        def build(tensors):
+            return {"root": (tensors["x"] ** 2.0).sum()}
+
+        (x0,) = rng_arrays((3, 4), seed=20)
+        return CapturedGraph.trace(build, {"x": x0}, grad_inputs=("x",))
+
+    def test_shape_mismatch(self):
+        plan = self._plan()
+        with pytest.raises(CaptureMiss, match="shape"):
+            plan.replay({"x": np.zeros((4, 4))})
+
+    def test_missing_input(self):
+        plan = self._plan()
+        with pytest.raises(CaptureMiss, match="missing"):
+            plan.replay({"y": np.zeros((3, 4))})
+
+    def test_seed_shape_mismatch(self):
+        def build(tensors):
+            return {"root": (tensors["x"] ** 2.0).sum(axis=1)}
+
+        (x0,) = rng_arrays((3, 4), seed=21)
+        plan = CapturedGraph.trace(build, {"x": x0}, grad_inputs=("x",))
+        with pytest.raises(CaptureMiss, match="seed"):
+            plan.replay({"x": x0}, seed=np.ones(4))
+
+
+class TestGraphTeardown:
+    """backward() drops the graph so results no longer pin intermediates."""
+
+    def test_backward_clears_history(self):
+        x = Tensor(np.ones((3, 3)), requires_grad=True)
+        out = (x * 2.0 + 1.0).sum()
+        out.backward()
+        assert out._parents == ()
+        assert out._backward is None
+
+    def test_retain_graph_keeps_history(self):
+        x = Tensor(np.ones((3, 3)), requires_grad=True)
+        out = (x * 2.0).sum()
+        out.backward(retain_graph=True)
+        assert out._parents != ()
+        assert out._backward is not None
+        # A second sweep over the retained graph still works (gradients
+        # accumulate, as in eager autograd generally).
+        out.backward(retain_graph=True)
+        assert x.grad is not None and x.grad.shape == (3, 3)
+
+    def test_result_does_not_pin_intermediates(self):
+        x = Tensor(np.ones((64, 64)), requires_grad=True)
+        hidden = F.relu(x * 3.0 - 1.0)
+        out = (hidden ** 2.0).sum()
+        ref = weakref.ref(hidden)
+        out.backward()
+        del hidden
+        gc.collect()
+        # Without teardown, `out._parents` would keep `hidden` alive for
+        # as long as the caller holds the scalar result.
+        assert ref() is None
+        assert out.item() is not None  # result itself still usable
+
+    def test_intermediates_pinned_without_backward_teardown(self):
+        # Control: retain_graph=True preserves the old pinning behaviour,
+        # proving the teardown (not scoping luck) is what frees the graph.
+        x = Tensor(np.ones((8, 8)), requires_grad=True)
+        hidden = F.relu(x * 3.0)
+        out = (hidden ** 2.0).sum()
+        ref = weakref.ref(hidden)
+        out.backward(retain_graph=True)
+        del hidden
+        gc.collect()
+        assert ref() is not None

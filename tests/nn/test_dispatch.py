@@ -113,11 +113,19 @@ class TestPlanCache:
                         rng.normal(size=(3, 2, 3, 3)))
         dispatch.corr2d(rng.normal(size=(1, 2, 8, 8)),
                         rng.normal(size=(3, 2, 1, 1)))
+        dispatch.corr2d(rng.normal(size=(1, 2, 8, 8)),
+                        rng.normal(size=(3, 2, 5, 5)))
+        dispatch.corr2d_weight_grad(rng.normal(size=(1, 3, 6, 6)),
+                                    rng.normal(size=(1, 2, 8, 8)), 3, 3)
         plans = dispatch.plan_table()
-        by_kernel = {key.split("|")[1].split("k")[1][:3]: plan
-                     for key, plan in plans.items()}
-        assert by_kernel["3x3"]["backend"] == "im2col"
-        assert by_kernel["1x1"]["backend"] == "matmul"
+        by_key = {(key.split("|")[0], key.split("|")[1].split("k")[1][:3]): plan
+                  for key, plan in plans.items()}
+        # Small forward kernels ride the shifted-GEMM path; big kernels
+        # and the fused weight-grad contraction stay on im2col.
+        assert by_key[("corr", "3x3")]["backend"] == "matmul"
+        assert by_key[("corr", "1x1")]["backend"] == "matmul"
+        assert by_key[("corr", "5x5")]["backend"] == "im2col"
+        assert by_key[("wgrad", "3x3")]["backend"] == "im2col"
         assert all(p["source"] == "heuristic" for p in plans.values())
 
     def test_calibration_above_threshold_records_timings(self):

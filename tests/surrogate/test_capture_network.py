@@ -1,0 +1,211 @@
+"""Captured-graph execution behind the surrogate entry points.
+
+``CmpNeuralNetwork`` with ``capture=True`` (the default) must be
+indistinguishable — *bitwise*, not approximately — from ``capture=False``
+on every entry point and in both precision modes, while allocating no new
+large arrays per call once a plan is warm.
+"""
+
+import gc
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro.layout import make_design_a
+from repro.nn import UNet, compute_dtype
+from repro.surrogate import (
+    NUM_FEATURE_CHANNELS,
+    CmpNeuralNetwork,
+    HeightNormalizer,
+    PlanarityWeights,
+)
+
+GRID = 12
+WEIGHTS = PlanarityWeights(1.0, 20000.0, 1.0, 20000.0, 1.0, 20000.0)
+
+
+def build_net(layout, capture):
+    unet = UNet(NUM_FEATURE_CHANNELS, 1, base_channels=4, depth=1, rng=0)
+    return CmpNeuralNetwork(
+        layout, unet, HeightNormalizer(2500.0, 300.0), capture=capture)
+
+
+@pytest.fixture(scope="module")
+def layout():
+    return make_design_a(rows=GRID, cols=GRID, seed=2)
+
+
+@pytest.fixture()
+def nets(layout):
+    return build_net(layout, True), build_net(layout, False)
+
+
+def fills_for(layout, count, seed=0, batch=None):
+    rng = np.random.default_rng(seed)
+    slack = layout.slack_stack()
+    shape = slack.shape if batch is None else (batch, *slack.shape)
+    return [rng.random(shape) * slack for _ in range(count)]
+
+
+def assert_same_eval(a, b):
+    assert a.s_plan == b.s_plan
+    assert np.array_equal(a.heights, b.heights)
+    if a.gradient is None:
+        assert b.gradient is None
+    else:
+        assert np.array_equal(a.gradient, b.gradient)
+    assert a.breakdown == b.breakdown
+
+
+class TestBitwiseParity:
+    def test_evaluate(self, nets):
+        captured, eager = nets
+        for fill in fills_for(captured.layout, 4, seed=1):
+            assert_same_eval(captured.evaluate(fill, WEIGHTS),
+                             eager.evaluate(fill, WEIGHTS))
+        stats = captured.capture_stats()
+        assert stats["trace"] == 1
+        assert stats["replay"] == 3
+
+    def test_evaluate_no_grad(self, nets):
+        captured, eager = nets
+        for fill in fills_for(captured.layout, 3, seed=2):
+            a = captured.evaluate(fill, WEIGHTS, want_grad=False)
+            b = eager.evaluate(fill, WEIGHTS, want_grad=False)
+            assert_same_eval(a, b)
+            assert a.gradient is None
+
+    def test_evaluate_batch(self, nets):
+        captured, eager = nets
+        for fills in fills_for(captured.layout, 3, seed=3, batch=3):
+            a = captured.evaluate_batch(fills, WEIGHTS)
+            b = eager.evaluate_batch(fills, WEIGHTS)
+            assert np.array_equal(a.s_plan, b.s_plan)
+            assert np.array_equal(a.heights, b.heights)
+            assert np.array_equal(a.gradient, b.gradient)
+            assert a.breakdowns == b.breakdowns
+
+    def test_evaluate_batch_grad_mask(self, nets):
+        captured, eager = nets
+        mask = np.array([True, False, True])
+        for fills in fills_for(captured.layout, 2, seed=4, batch=3):
+            a = captured.evaluate_batch(fills, WEIGHTS, grad_mask=mask)
+            b = eager.evaluate_batch(fills, WEIGHTS, grad_mask=mask)
+            assert np.array_equal(a.gradient, b.gradient)
+            assert not a.gradient[1].any()
+
+    def test_evaluate_region(self, nets):
+        captured, eager = nets
+        base_fill, trial0 = fills_for(captured.layout, 2, seed=5)
+        base = eager.predict_heights(base_fill)
+        active = np.zeros((GRID, GRID), bool)
+        active[4:7, 5:8] = True
+        region = captured.plan_region(active)
+        for k in range(3):
+            trial = base_fill.copy()
+            trial[:, 4:7, 5:8] = trial0[:, 4:7, 5:8] * (0.5 + 0.1 * k)
+            a = captured.evaluate_region(trial, region, base, WEIGHTS)
+            b = eager.evaluate_region(trial, region, base, WEIGHTS)
+            assert_same_eval(a, b)
+
+    def test_float32_mode(self, layout):
+        results = []
+        for capture in (True, False):
+            net = build_net(layout, capture)
+            net.unet.to_dtype(np.float32)
+            with compute_dtype(np.float32):
+                fills = fills_for(layout, 3, seed=6)
+                results.append([net.evaluate(f, WEIGHTS) for f in fills])
+        for a, b in zip(*results):
+            assert_same_eval(a, b)
+
+
+class TestPlanLifecycle:
+    def test_distinct_signatures_get_distinct_plans(self, layout):
+        net = build_net(layout, True)
+        (fill,) = fills_for(layout, 1, seed=7)
+        (batch,) = fills_for(layout, 1, seed=7, batch=2)
+        net.evaluate(fill, WEIGHTS)
+        net.evaluate_batch(batch, WEIGHTS)
+        stats = net.capture_stats()
+        assert stats["trace"] == 2
+        assert len(stats["plans"]) == 2
+        assert stats["arena_bytes"] > 0
+
+    def test_state_version_invalidates_plans(self, layout):
+        net = build_net(layout, True)
+        (fill,) = fills_for(layout, 1, seed=8)
+        before = net.evaluate(fill, WEIGHTS)
+        state = net.unet.state_dict()
+        for name in state:
+            if not name.startswith("buffer:"):
+                state[name] = state[name] * 0.75
+        net.unet.load_state_dict(state)
+        after = net.evaluate(fill, WEIGHTS)
+        # New weights, new key -> a second trace, not a stale replay.
+        assert net.capture_stats()["trace"] == 2
+        fresh = build_net(layout, False)
+        fresh.unet.load_state_dict(state)
+        assert after.s_plan == fresh.evaluate(fill, WEIGHTS).s_plan
+        assert after.s_plan != before.s_plan
+
+    def test_capture_disabled_uses_eager(self, layout):
+        net = build_net(layout, False)
+        (fill,) = fills_for(layout, 1, seed=9)
+        net.evaluate(fill, WEIGHTS)
+        net.evaluate(fill, WEIGHTS)
+        stats = net.capture_stats()
+        assert stats["trace"] == 0 and stats["replay"] == 0
+
+    def test_env_knob_controls_default(self, layout, monkeypatch):
+        monkeypatch.setenv("REPRO_CAPTURE", "0")
+        assert build_net(layout, None).capture is False
+        monkeypatch.setenv("REPRO_CAPTURE", "1")
+        assert build_net(layout, None).capture is True
+
+    def test_training_mode_bypasses_capture(self, layout):
+        net = build_net(layout, True)
+        net.unet.train()
+        (fill,) = fills_for(layout, 1, seed=10)
+        net.evaluate(fill, WEIGHTS)
+        assert net.capture_stats()["trace"] == 0
+        net.unet.eval()
+        net.evaluate(fill, WEIGHTS)
+        assert net.capture_stats()["trace"] == 1
+
+    def test_plan_lru_bounded(self, layout, monkeypatch):
+        monkeypatch.setenv("REPRO_CAPTURE_PLANS", "2")
+        net = build_net(layout, True)
+        for k in (1, 2, 3):
+            (batch,) = fills_for(layout, 1, seed=11, batch=k)
+            net.evaluate_batch(batch, WEIGHTS)
+        stats = net.capture_stats()
+        assert stats["trace"] == 3
+        assert len(stats["plans"]) == 2  # oldest evicted
+
+
+class TestAllocationRegression:
+    def test_replay_allocates_no_new_large_arrays(self, layout):
+        net = build_net(layout, True)
+        fills = fills_for(layout, 6, seed=12)
+        net.evaluate(fills[0], WEIGHTS)  # trace
+        net.evaluate(fills[1], WEIGHTS)  # warm replay
+        assert net.capture_stats()["replay"] == 1
+
+        gc.collect()
+        tracemalloc.start()
+        before = tracemalloc.take_snapshot()
+        for fill in fills[2:]:
+            result = net.evaluate(fill, WEIGHTS)
+        del result
+        gc.collect()
+        after = tracemalloc.take_snapshot()
+        tracemalloc.stop()
+
+        grown = [
+            d for d in after.compare_to(before, "lineno")
+            if d.size_diff > 32 * 1024
+        ]
+        assert not grown, [str(d) for d in grown]
+        assert net.capture_stats()["replay"] == 5
